@@ -1,0 +1,87 @@
+"""E12 (extension) — load-balancer design choices (the FD4 substrate).
+
+The COSMO-SPECS+FD4 case study depends on our balancer actually
+balancing.  This ablation quantifies the design choices DESIGN.md
+calls out: partitioning algorithm (uniform / greedy / exact) and curve
+(Hilbert / Morton / row-major), on the cloud-weight fields the
+workload produces.
+"""
+
+import numpy as np
+
+from repro.balance import (
+    DynamicLoadBalancer,
+    curve_order,
+    imbalance_of,
+    partition_cost,
+    partition_exact,
+    partition_greedy,
+    partition_uniform,
+)
+from repro.sim.workloads.base import CloudField
+
+
+def cloud_weights(step: int = 20) -> np.ndarray:
+    cloud = CloudField(
+        nx=40, ny=40, center=(18.0, 22.0), sigma=5.0,
+        max_amplitude=6.0, growth_steps=30, drift=(0.08, 0.04),
+    )
+    return cloud.weights(step)
+
+
+def run_ablation(parts: int = 200):
+    weights = cloud_weights().ravel()
+    order = curve_order(40, 40, curve="hilbert")
+    ordered = weights[order]
+
+    rows = {}
+    b = partition_uniform(len(ordered), parts)
+    rows["uniform (static)"] = imbalance_of(ordered, b)
+    b = partition_greedy(ordered, parts)
+    rows["greedy CCP"] = imbalance_of(ordered, b)
+    b = partition_exact(ordered, parts)
+    rows["exact CCP"] = imbalance_of(ordered, b)
+
+    curves = {}
+    for curve in ("row", "morton", "hilbert"):
+        lb = DynamicLoadBalancer(40, 40, parts, curve=curve, method="exact")
+        result = lb.balance(weights)
+        # Boundary length proxy: cells whose right/down neighbour is
+        # owned by a different rank (communication surface).
+        a = result.assignment.reshape(40, 40)
+        cuts = int(np.count_nonzero(np.diff(a, axis=0))) + int(
+            np.count_nonzero(np.diff(a, axis=1))
+        )
+        curves[curve] = (result.imbalance, cuts)
+    return rows, curves
+
+
+def test_ablation_balancer(benchmark, report):
+    rows, curves = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    assert rows["exact CCP"] <= rows["greedy CCP"] + 1e-9
+    assert rows["exact CCP"] < rows["uniform (static)"]
+    # Hilbert partitions have shorter boundaries than Morton/row.
+    assert curves["hilbert"][1] <= curves["morton"][1]
+
+    lines = [
+        "Balancer ablation on a cloud-weight field (1600 blocks, 200 ranks)",
+        "",
+        "partitioning algorithm (Hilbert order) -> bottleneck imbalance:",
+    ]
+    for name, imb in rows.items():
+        lines.append(f"  {name:<18} max/mean = {imb:.4f}")
+    lines += [
+        "",
+        "curve choice (exact CCP) -> imbalance, boundary cells:",
+    ]
+    for curve, (imb, cuts) in curves.items():
+        lines.append(f"  {curve:<10} imbalance {imb:.4f}, boundary {cuts}")
+    lines += [
+        "",
+        "uniform static decomposition is what the COSMO-SPECS baseline",
+        "suffers from (case A); exact chains-on-chains on the Hilbert",
+        "curve is what keeps case B balanced so only the OS interruption",
+        "stands out.",
+    ]
+    report("E12_ablation_balancer", lines)

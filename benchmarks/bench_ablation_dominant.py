@@ -1,0 +1,86 @@
+"""E8 — ablation: the dominant-function heuristic vs. alternatives.
+
+Section IV argues that neither "maximum aggregated inclusive time"
+alone (selects ``main``: no segmentation over time) nor raw invocation
+counts (selects tiny leaf functions: segments too small, noisy) yield
+good segments; the paper's criterion (max inclusive among functions
+with >= 2p invocations) does.  This ablation runs all three policies on
+the COSMO-SPECS trace and compares what the downstream detector can do.
+"""
+
+import numpy as np
+
+from repro.core import compute_sos, detect_imbalances, segment_trace
+from repro.sim.workloads.cosmo_specs import HOT_RANKS
+
+
+def _select_max_inclusive(trace, stats):
+    """Alternative 1: plain argmax of aggregated inclusive time."""
+    return int(np.argmax(stats.inclusive_sum))
+
+
+def _select_max_count(trace, stats):
+    """Alternative 2: most frequently invoked function."""
+    return int(np.argmax(stats.count))
+
+
+def _evaluate(trace, analysis, region):
+    tables = analysis.profile.tables
+    segmentation = segment_trace(tables, region)
+    sos = compute_sos(trace, segmentation, tables)
+    detection = detect_imbalances(sos)
+    counts = segmentation.counts()
+    return {
+        "name": trace.regions[region].name,
+        "segments_per_rank": float(counts.mean()) if counts.size else 0.0,
+        "hot_ranks": [h.rank for h in detection.hot_ranks],
+    }
+
+
+def run_ablation(cosmo_trace, cosmo_analysis):
+    stats = cosmo_analysis.profile.stats
+    paper_region = cosmo_analysis.dominant_region
+    alt1 = _select_max_inclusive(cosmo_trace, stats)
+    alt2 = _select_max_count(cosmo_trace, stats)
+    return {
+        "paper-heuristic": _evaluate(cosmo_trace, cosmo_analysis, paper_region),
+        "max-inclusive-only": _evaluate(cosmo_trace, cosmo_analysis, alt1),
+        "max-invocation-count": _evaluate(cosmo_trace, cosmo_analysis, alt2),
+    }
+
+
+def test_ablation_dominant_heuristic(benchmark, report, cosmo_trace,
+                                     cosmo_analysis):
+    results = benchmark.pedantic(
+        run_ablation, args=(cosmo_trace, cosmo_analysis), rounds=1,
+        iterations=1,
+    )
+
+    paper = results["paper-heuristic"]
+    alt1 = results["max-inclusive-only"]
+    assert set(paper["hot_ranks"]) == set(HOT_RANKS)
+    # max-inclusive picks 'main': exactly one segment per rank.
+    assert alt1["segments_per_rank"] == 1.0
+
+    lines = [
+        "Ablation — segmentation function selection policies "
+        "(COSMO-SPECS, 100 ranks)",
+        "",
+        f"{'policy':<22}{'selected':<24}{'segs/rank':>10}  hot ranks",
+    ]
+    for policy, r in results.items():
+        hot = sorted(r["hot_ranks"])
+        shown = hot if len(hot) <= 8 else f"{hot[:8]}... ({len(hot)})"
+        lines.append(
+            f"{policy:<22}{r['name']:<24}{r['segments_per_rank']:>10.1f}  {shown}"
+        )
+    lines += [
+        "",
+        f"ground truth hot ranks: {sorted(HOT_RANKS)}",
+        "",
+        "paper (Section IV): top call-level functions 'provide no",
+        "segmentation of the overall runtime' (main: 1 segment/rank,",
+        "so temporal variation is invisible); the 2p criterion picks",
+        "the iteration function.",
+    ]
+    report("E8_ablation_dominant_heuristic", lines)

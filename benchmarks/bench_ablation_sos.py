@@ -1,0 +1,90 @@
+"""E7 — ablation: SOS-time vs. plain inclusive durations.
+
+The paper's Section V argues that comparing plain inclusive durations
+cannot identify *which* process causes an imbalance, because waiting
+peers absorb it inside synchronization calls.  This ablation makes the
+claim quantitative: over a sweep of planted imbalance factors, we run
+the identical detector once on SOS values and once on plain durations
+and record which one recovers the planted rank.
+"""
+
+import numpy as np
+
+from repro.core import analyze_trace, detect_imbalances
+from repro.core.imbalance import robust_zscores
+from repro.core.sos import RankSOS, SOSResult
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+def _duration_view(sos):
+    """An SOSResult whose values are the plain segment durations."""
+    return SOSResult(
+        sos.segmentation,
+        {
+            r: RankSOS(
+                rank=r,
+                duration=sos[r].duration,
+                sync_time=np.zeros_like(sos[r].duration),
+                sos=sos[r].duration,
+            )
+            for r in sos.ranks
+        },
+        sos.classifier,
+    )
+
+
+def _detected(result, planted_rank):
+    report = detect_imbalances(result)
+    return planted_rank in [h.rank for h in report.hot_ranks]
+
+
+def run_sweep(factors):
+    rows = []
+    for factor in factors:
+        trace = generate(
+            SyntheticConfig(
+                ranks=16,
+                iterations=12,
+                slow_ranks={11: factor},
+                jitter_sigma=0.01,
+                seed=int(factor * 100),
+            )
+        )
+        analysis = analyze_trace(trace)
+        sos_hit = _detected(analysis.sos, 11)
+        dur_hit = _detected(_duration_view(analysis.sos), 11)
+        rows.append((factor, sos_hit, dur_hit))
+    return rows
+
+
+def test_ablation_sos_vs_durations(benchmark, report):
+    factors = (1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0)
+    rows = benchmark.pedantic(run_sweep, args=(factors,), rounds=1,
+                              iterations=1)
+
+    # SOS must catch every material imbalance; plain durations must
+    # miss them all (the waiting peers equalise the durations).
+    for factor, sos_hit, dur_hit in rows:
+        if factor >= 1.25:
+            assert sos_hit, f"SOS missed factor {factor}"
+        assert not dur_hit, f"plain durations should not localise {factor}"
+
+    lines = [
+        "Ablation — detector input: SOS-time vs. plain inclusive duration",
+        "(planted: rank 11 of 16 slowed by the given factor)",
+        "",
+        f"{'factor':>8}{'SOS detects':>14}{'durations detect':>18}",
+    ]
+    for factor, sos_hit, dur_hit in rows:
+        lines.append(
+            f"{factor:>8g}{str(sos_hit):>14}{str(dur_hit):>18}"
+        )
+    lines += [
+        "",
+        "paper (Section V): 'With the direct comparison of dominant",
+        "function durations, we cannot identify the processes that",
+        "cause the differences.' -- reproduced: the plain-duration",
+        "detector never localises the slow rank, SOS always does once",
+        "the imbalance is material.",
+    ]
+    report("E7_ablation_sos_vs_duration", lines)

@@ -1,0 +1,102 @@
+"""E9 — baseline comparison (paper Section II).
+
+Runs the four related-work analyses plus our variation analysis on the
+same traces and tabulates what each can and cannot localise — the
+qualitative comparison the paper's related-work section makes,
+turned into a measurable table:
+
+* profile-only (TAU/HPCToolkit style): rank-level skew only, no time axis;
+* pattern search (Scalasca style): wait states + delayer attribution;
+* representatives (Mohror et al.): may hide the anomalous rank;
+* phase clustering (Gonzalez et al.): phase types, no localisation;
+* this work: rank + segment + trend localisation.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    analyze_profile_only,
+    cluster_phases,
+    search_patterns,
+    select_representatives,
+)
+from repro.core import analyze_trace
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+def build_traces():
+    slow = generate(
+        SyntheticConfig(ranks=16, iterations=12, slow_ranks={11: 1.8},
+                        jitter_sigma=0.01, seed=8)
+    )
+    outlier = generate(
+        SyntheticConfig(ranks=16, iterations=12, outliers={(4, 7): 0.15},
+                        jitter_sigma=0.01, seed=9)
+    )
+    return slow, outlier
+
+
+def run_comparison(slow, outlier):
+    rows = {}
+
+    def evaluate(trace, planted_rank, planted_segment):
+        analysis = analyze_trace(trace)
+        ours_rank = planted_rank in analysis.hot_ranks() or any(
+            h.rank == planted_rank for h in analysis.imbalance.hot_segments
+        )
+        ours_segment = (
+            planted_segment in analysis.hot_segments()
+            if planted_segment
+            else None
+        )
+        po = analyze_profile_only(trace)
+        ps = search_patterns(trace)
+        rep = select_representatives(trace, similarity_threshold=0.25)
+        cl = cluster_phases(trace, k=4, min_duration=0.001)
+        return {
+            "ours(rank)": ours_rank,
+            "ours(segment)": ours_segment,
+            "profile-only(rank)": planted_rank in po.flagged_ranks(),
+            "patterns(delayer)": planted_rank in ps.delayers()[:3],
+            "representatives(visible)": rep.is_visible(planted_rank),
+            "clustering(bursts)": len(cl.bursts) > 0,
+        }
+
+    rows["persistent slow rank 11"] = evaluate(slow, 11, None)
+    rows["single outlier (4, it 7)"] = evaluate(outlier, 4, (4, 7))
+    return rows
+
+
+def test_baseline_comparison(benchmark, report):
+    slow, outlier = build_traces()
+    rows = benchmark.pedantic(
+        run_comparison, args=(slow, outlier), rounds=1, iterations=1
+    )
+
+    persistent = rows["persistent slow rank 11"]
+    single = rows["single outlier (4, it 7)"]
+    assert persistent["ours(rank)"]
+    assert single["ours(segment)"]
+
+    lines = [
+        "Baseline comparison — who localises the planted problem?",
+        "",
+    ]
+    for scenario, result in rows.items():
+        lines.append(f"[{scenario}]")
+        for method, value in result.items():
+            lines.append(f"  {method:<26} {value}")
+        lines.append("")
+    lines += [
+        "notes:",
+        " - profile-only sees run totals: fine for persistent skew,",
+        "   structurally blind to single invocations and trends;",
+        " - pattern search attributes collective delays to the slow",
+        "   rank but offers no over-time view;",
+        " - representative selection at a typical threshold may drop",
+        "   the anomalous rank from the reduced view;",
+        " - phase clustering characterises burst classes without",
+        "   pointing at a rank/time;",
+        " - the SOS heat map localises both rank and invocation.",
+    ]
+    report("E9_baseline_comparison", lines)

@@ -1,0 +1,56 @@
+"""E3 — Figure 3: SOS-time computation.
+
+Regenerates the paper's worked example: plain segment durations are
+identical across processes (6 / 3 / 5) while SOS-times expose the
+hidden per-process imbalance (first iteration: 5 / 3 / 1).  Benchmarks
+the SOS computation on the full COSMO-SPECS trace.
+"""
+
+import numpy as np
+
+from repro.core import compute_sos, segment_trace, select_dominant
+from repro.paper import FIGURE3_CALC, figure3_trace
+from repro.profiles import replay_trace
+
+
+def test_fig3_sos_times(benchmark, report, cosmo_trace, cosmo_analysis):
+    tables = cosmo_analysis.profile.tables
+    segmentation = cosmo_analysis.segmentation
+    sos = benchmark(compute_sos, cosmo_trace, segmentation, tables)
+    assert sos.per_rank_total().max() > 0
+
+    fig3 = figure3_trace()
+    toy_tables = replay_trace(fig3)
+    toy_sel = select_dominant(fig3, tables=toy_tables)
+    toy_seg = segment_trace(toy_tables, toy_sel.region)
+    toy_sos = compute_sos(fig3, toy_seg, toy_tables)
+
+    durations = toy_sos.duration_matrix()
+    matrix = toy_sos.matrix()
+    np.testing.assert_allclose(matrix, np.asarray(FIGURE3_CALC).T)
+
+    lines = [
+        "Figure 3 — segment durations vs. SOS-times (3 processes)",
+        "",
+        "plain segment durations (identical across processes -> the",
+        "computational imbalance is hidden):",
+    ]
+    for rank in range(3):
+        lines.append(
+            f"  Process {rank}: "
+            + "  ".join(f"{v:4g}" for v in durations[rank])
+        )
+    lines += ["", "SOS-times (synchronization subtracted):"]
+    for rank in range(3):
+        lines.append(
+            f"  Process {rank}: " + "  ".join(f"{v:4g}" for v in matrix[rank])
+        )
+    lines += [
+        "",
+        "paper: 'the SOS-time of Process 2 shows 1 compared to a",
+        "SOS-time of 5 for Process 0' (first iteration) -- reproduced.",
+        "",
+        "benchmark payload: SOS computation over the COSMO-SPECS trace "
+        f"({segmentation.total_segments} segments)",
+    ]
+    report("E3_fig3_sos_time", lines)

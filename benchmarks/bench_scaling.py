@@ -1,0 +1,66 @@
+"""E10 — scalability of the analysis ("lightweight", Section VIII).
+
+The paper calls the approach lightweight; this benchmark quantifies
+the claim for our implementation: end-to-end analysis throughput
+(events per second) as the trace grows in ranks and iterations, plus
+individual benchmarks of the two heaviest stages (replay, SOS).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_trace, compute_sos, segment_trace
+from repro.profiles import replay_trace
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+def _trace(ranks, iterations):
+    return generate(
+        SyntheticConfig(
+            ranks=ranks,
+            iterations=iterations,
+            subiters=2,
+            jitter_sigma=0.005,
+            seed=ranks * 1000 + iterations,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "ranks,iterations",
+    [(8, 50), (32, 50), (64, 100)],
+    ids=["8rx50it", "32rx50it", "64rx100it"],
+)
+def test_analysis_scaling(benchmark, report, ranks, iterations):
+    trace = _trace(ranks, iterations)
+    analysis = benchmark(analyze_trace, trace)
+    events = trace.num_events
+    rate = events / benchmark.stats["mean"]
+    report(
+        f"E10_scaling_{ranks}r_{iterations}it",
+        [
+            f"analysis throughput at {ranks} ranks x {iterations} iterations",
+            f"  events: {events}",
+            f"  mean analysis time: {benchmark.stats['mean'] * 1e3:.1f} ms",
+            f"  throughput: {rate / 1e6:.2f} M events/s",
+            f"  dominant: {analysis.dominant_name!r}",
+        ],
+    )
+
+
+def test_replay_stage(benchmark, cosmo_trace):
+    """Stack replay is the dominant cost; track it in isolation."""
+    tables = benchmark(replay_trace, cosmo_trace)
+    assert sum(len(t) for t in tables.values()) > 0
+
+
+def test_segmentation_and_sos_stage(benchmark, cosmo_trace, cosmo_analysis):
+    tables = cosmo_analysis.profile.tables
+    region = cosmo_analysis.dominant_region
+
+    def stage():
+        segmentation = segment_trace(tables, region)
+        return compute_sos(cosmo_trace, segmentation, tables)
+
+    sos = benchmark(stage)
+    assert sos.per_rank_total().size == 100

@@ -1,0 +1,71 @@
+"""E11 (extension) — streaming vs. post-mortem analysis.
+
+The paper states in-situ analysis "is feasible as well" (Section III);
+our :class:`~repro.core.streaming.StreamingAnalyzer` implements it.
+This benchmark measures the streaming path's event throughput against
+the batch pipeline and verifies the alert arrives *during* the stream,
+long before the run ends.
+"""
+
+import numpy as np
+
+from repro.core import analyze_trace
+from repro.core.streaming import StreamingAnalyzer
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+def _trace():
+    return generate(
+        SyntheticConfig(
+            ranks=16,
+            iterations=40,
+            subiters=2,
+            outliers={(9, 25): 0.08},
+            jitter_sigma=0.005,
+            seed=21,
+        )
+    )
+
+
+def stream_all(trace, chunk=256):
+    analyzer = StreamingAnalyzer(
+        trace.regions, trace.num_processes, dominant="iteration"
+    )
+    for rank in trace.ranks:
+        events = trace.events_of(rank)
+        for i in range(0, len(events), chunk):
+            analyzer.feed(rank, events[i : i + chunk])
+    return analyzer
+
+
+def test_streaming_analysis(benchmark, report):
+    trace = _trace()
+    analyzer = benchmark(stream_all, trace)
+
+    assert len(analyzer.alerts) >= 1
+    alert = analyzer.alerts[0]
+    assert alert.segment.rank == 9 and alert.segment.index == 25
+
+    batch = analyze_trace(trace)
+    for rank in trace.ranks:
+        np.testing.assert_allclose(
+            analyzer.sos_series(rank), batch.sos[rank].sos
+        )
+
+    events = trace.num_events
+    mean = benchmark.stats["mean"]
+    # How early does the alert fire?  It completes with segment 25 of
+    # 40, i.e. with ~37% of the run still ahead.
+    remaining = 1.0 - (alert.segment.index + 1) / 40
+    report(
+        "E11_streaming_in_situ",
+        [
+            "Streaming (in-situ) analysis — the paper's Section III remark",
+            f"  events streamed: {events}",
+            f"  streaming pass: {mean * 1e3:.1f} ms "
+            f"({events / mean / 1e6:.2f} M events/s)",
+            f"  alert: {alert}",
+            f"  raised with {100 * remaining:.0f}% of the run still ahead",
+            "  SOS values identical to the post-mortem analysis (asserted)",
+        ],
+    )

@@ -1,0 +1,71 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (figure/table) and both
+prints and persists the rows/series the paper reports, so a
+``pytest benchmarks/ --benchmark-only`` run leaves a full
+paper-versus-measured record under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable writing one experiment's result table to disk + stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(experiment: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+        print(f"\n=== {experiment} ===")
+        print(text)
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def cosmo_trace():
+    from repro.sim.workloads import cosmo_specs
+
+    return cosmo_specs.generate(processes=100, iterations=60)
+
+
+@pytest.fixture(scope="session")
+def cosmo_analysis(cosmo_trace):
+    from repro.core import analyze_trace
+
+    return analyze_trace(cosmo_trace)
+
+
+@pytest.fixture(scope="session")
+def fd4_trace():
+    from repro.sim.workloads import cosmo_specs_fd4
+
+    return cosmo_specs_fd4.generate()
+
+
+@pytest.fixture(scope="session")
+def fd4_analysis(fd4_trace):
+    from repro.core import analyze_trace
+
+    return analyze_trace(fd4_trace)
+
+
+@pytest.fixture(scope="session")
+def wrf_trace():
+    from repro.sim.workloads import wrf
+
+    return wrf.generate()
+
+
+@pytest.fixture(scope="session")
+def wrf_analysis(wrf_trace):
+    from repro.core import analyze_trace
+
+    return analyze_trace(wrf_trace)

@@ -1,0 +1,57 @@
+"""repro — detection and visualization of performance variations.
+
+A from-scratch reproduction of Weber et al., *Detection and
+Visualization of Performance Variations to Guide Identification of
+Application Bottlenecks* (ICPP 2016), together with every substrate the
+paper depends on: an OTF2-like trace model, a Score-P-like measurement
+layer, a discrete-event MPI application simulator, an FD4-like dynamic
+load balancer, and a Vampir-like SVG/PNG trace visualizer.
+
+Typical use::
+
+    from repro import analyze_trace
+    from repro.sim.workloads import cosmo_specs
+
+    trace = cosmo_specs.generate(processes=100, iterations=60, seed=7)
+    result = analyze_trace(trace)
+    print(result.report())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-versus-measured record of every reproduced figure.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# Re-exported lazily to keep `import repro` cheap; heavy subpackages
+# (sim, viz) are only imported when first touched.
+_LAZY = {
+    "analyze_trace": ("repro.core.pipeline", "analyze_trace"),
+    "VariationAnalysis": ("repro.core.pipeline", "VariationAnalysis"),
+    "AnalysisConfig": ("repro.core.pipeline", "AnalysisConfig"),
+    "Trace": ("repro.trace", "Trace"),
+    "TraceBuilder": ("repro.trace", "TraceBuilder"),
+    "read_trace": ("repro.trace", "read_trace"),
+    "write_jsonl": ("repro.trace", "write_jsonl"),
+    "write_binary": ("repro.trace", "write_binary"),
+    "profile_trace": ("repro.profiles", "profile_trace"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,33 @@
+"""FD4-like dynamic load balancing: space-filling curves + partitioning."""
+
+from .balancer import BalanceResult, DynamicLoadBalancer, static_decomposition
+from .partition import (
+    imbalance_of,
+    partition_cost,
+    partition_exact,
+    partition_greedy,
+    partition_uniform,
+)
+from .sfc import (
+    curve_order,
+    hilbert_coords,
+    hilbert_index,
+    morton_coords,
+    morton_index,
+)
+
+__all__ = [
+    "BalanceResult",
+    "DynamicLoadBalancer",
+    "curve_order",
+    "hilbert_coords",
+    "hilbert_index",
+    "imbalance_of",
+    "morton_coords",
+    "morton_index",
+    "partition_cost",
+    "partition_exact",
+    "partition_greedy",
+    "partition_uniform",
+    "static_decomposition",
+]

@@ -1,0 +1,32 @@
+"""Baseline analysis methods the paper compares against (Section II)."""
+
+from .clustering import (
+    Burst,
+    ClusterResult,
+    cluster_phases,
+    extract_bursts,
+    kmeans,
+)
+from .pattern_search import PatternInstance, PatternSearchResult, search_patterns
+from .profile_only import (
+    ProfileOnlyFinding,
+    ProfileOnlyResult,
+    analyze_profile_only,
+)
+from .representatives import RepresentativeResult, select_representatives
+
+__all__ = [
+    "Burst",
+    "ClusterResult",
+    "PatternInstance",
+    "PatternSearchResult",
+    "ProfileOnlyFinding",
+    "ProfileOnlyResult",
+    "RepresentativeResult",
+    "analyze_profile_only",
+    "cluster_phases",
+    "extract_bursts",
+    "kmeans",
+    "search_patterns",
+    "select_representatives",
+]

@@ -1,0 +1,404 @@
+"""Command-line interface: simulate, analyze, render, inspect traces.
+
+Examples
+--------
+::
+
+    repro-trace simulate cosmo_specs -o /tmp/cs.rpt
+    repro-trace analyze /tmp/cs.rpt --views /tmp/cs_views --ascii
+    repro-trace analyze /tmp/cs.rpt --function specs_microphysics
+    repro-trace profile /tmp/cs.rpt -k 20
+    repro-trace info /tmp/cs.rpt
+    repro-trace validate /tmp/cs.rpt
+    repro-trace baselines /tmp/cs.rpt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = (
+    "cosmo_specs",
+    "cosmo_specs_fd4",
+    "wrf",
+    "synthetic",
+    "hybrid_openmp",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Detection and visualization of performance variations in "
+            "parallel application traces (Weber et al., ICPP 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a workload trace")
+    sim.add_argument("workload", choices=_WORKLOADS)
+    sim.add_argument("-o", "--output", required=True,
+                     help="output path (.rpt binary or .jsonl text)")
+    sim.add_argument("--processes", type=int, default=None)
+    sim.add_argument("--iterations", type=int, default=None)
+    sim.add_argument("--seed", type=int, default=None)
+
+    ana = sub.add_parser("analyze", help="run the variation analysis")
+    ana.add_argument("trace")
+    ana.add_argument("--level", type=int, default=0,
+                     help="dominant-function refinement level (0 = coarsest)")
+    ana.add_argument("--function", default=None,
+                     help="pin the segmentation to this candidate function")
+    ana.add_argument("--json", dest="json_out", default=None,
+                     help="write the analysis summary as JSON to this path")
+    ana.add_argument("--views", default=None,
+                     help="write PNG/SVG views into this directory")
+    ana.add_argument("--html", dest="html_out", default=None,
+                     help="write a self-contained HTML report to this path")
+    ana.add_argument("--ascii", action="store_true",
+                     help="print the SOS heat map as ANSI art")
+    ana.add_argument("--bins", type=int, default=512)
+
+    prof = sub.add_parser("profile", help="print the flat profile")
+    prof.add_argument("trace")
+    prof.add_argument("-k", type=int, default=15)
+    prof.add_argument("--tree", action="store_true",
+                      help="print the call tree instead of the flat profile")
+
+    ren = sub.add_parser("render", help="render trace views without analysis")
+    ren.add_argument("trace")
+    ren.add_argument("-o", "--output", required=True, help="output directory")
+    ren.add_argument("--messages", action="store_true",
+                     help="draw message lines on the timeline")
+
+    info = sub.add_parser("info", help="print trace summary")
+    info.add_argument("trace")
+
+    val = sub.add_parser("validate", help="check trace well-formedness")
+    val.add_argument("trace")
+
+    base = sub.add_parser("baselines", help="run the baseline analyses")
+    base.add_argument("trace")
+
+    conv = sub.add_parser("convert", help="convert between trace formats")
+    conv.add_argument("trace")
+    conv.add_argument("-o", "--output", required=True)
+
+    expl = sub.add_parser("explain", help="break one segment down by region")
+    expl.add_argument("trace")
+    expl.add_argument("--rank", type=int, default=None,
+                      help="rank of the segment (default: hottest finding)")
+    expl.add_argument("--segment", type=int, default=None,
+                      help="segment index (default: hottest finding)")
+    expl.add_argument("--function", default=None,
+                      help="pin the segmentation to this candidate function")
+
+    mon = sub.add_parser(
+        "monitor",
+        help="replay a trace through the streaming (in-situ) analyzer",
+    )
+    mon.add_argument("trace")
+    mon.add_argument("--function", default=None,
+                     help="dominant function (default: warm-up selection)")
+    mon.add_argument("--chunk", type=int, default=256,
+                     help="events per fed chunk")
+    mon.add_argument("--threshold", type=float, default=4.0,
+                     help="alert z-score threshold")
+
+    comp = sub.add_parser("compare", help="compare two runs segment by segment")
+    comp.add_argument("trace_a", help="reference run")
+    comp.add_argument("trace_b", help="candidate run")
+    comp.add_argument("--function", default=None,
+                      help="pin both segmentations to this function")
+    comp.add_argument("--min-relative-delta", type=float, default=0.25)
+    return parser
+
+
+def _write_trace(trace, path: str) -> None:
+    from .trace import write_binary, write_jsonl
+
+    if path.endswith(".rpt"):
+        write_binary(trace, path)
+    elif path.endswith(".jsonl"):
+        write_jsonl(trace, path)
+    else:
+        raise SystemExit(f"unknown output format (want .rpt or .jsonl): {path}")
+
+
+def _cmd_simulate(args) -> int:
+    from .sim import workloads
+
+    module = getattr(workloads, args.workload)
+    kwargs = {}
+    if args.processes is not None:
+        kwargs["processes"] = args.processes
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.workload == "hybrid_openmp":
+        from .sim.workloads import hybrid_openmp
+
+        cfg_kwargs = {}
+        if args.processes is not None:
+            cfg_kwargs["ranks"] = args.processes
+        if args.iterations is not None:
+            cfg_kwargs["iterations"] = args.iterations
+        if args.seed is not None:
+            cfg_kwargs["seed"] = args.seed
+        trace = hybrid_openmp.generate(**cfg_kwargs)
+    elif args.workload == "synthetic":
+        from .sim.workloads.synthetic import SyntheticConfig
+
+        cfg_kwargs = {}
+        if args.processes is not None:
+            cfg_kwargs["ranks"] = args.processes
+        if args.iterations is not None:
+            cfg_kwargs["iterations"] = args.iterations
+        if args.seed is not None:
+            cfg_kwargs["seed"] = args.seed
+        trace = module.generate(SyntheticConfig(**cfg_kwargs))
+    else:
+        trace = module.generate(**kwargs)
+    _write_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.num_processes} processes, "
+        f"{trace.num_events} events, {trace.duration:.4g}s"
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .core import AnalysisConfig, analyze_trace
+    from .trace import read_trace
+
+    trace = read_trace(args.trace)
+    analysis = analyze_trace(trace, AnalysisConfig(level=args.level))
+    if args.function:
+        analysis = analysis.at_function(args.function)
+    print(analysis.report())
+    if args.ascii:
+        from .viz import heat_to_ansi
+
+        matrix, _edges = analysis.heat_matrix(bins=min(args.bins, 120))
+        print()
+        print(f"SOS heat map (process x time, {analysis.dominant_name!r}):")
+        print(heat_to_ansi(matrix, row_labels=trace.ranks))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fp:
+            json.dump(analysis.to_dict(), fp, indent=2)
+        print(f"\nwrote {args.json_out}")
+    if args.views:
+        from .viz import render_analysis
+
+        written = render_analysis(analysis, args.views, bins=args.bins)
+        print("\nviews:")
+        for name, path in written.items():
+            print(f"  {name}: {path}")
+    if args.html_out:
+        from .htmlreport import render_html_report
+
+        render_html_report(analysis, args.html_out, bins=args.bins)
+        print(f"\nwrote {args.html_out}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .profiles import profile_trace
+    from .trace import read_trace
+
+    profile = profile_trace(read_trace(args.trace))
+    if args.tree:
+        print(profile.call_tree.format())
+    else:
+        print(profile.format_flat(args.k))
+        print()
+        for share in profile.paradigm_shares():
+            print(f"  {share.paradigm.name:<12} {100 * share.share:5.1f}%")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from .trace import read_trace
+    from .viz import render_timeline_png
+
+    trace = read_trace(args.trace)
+    import os
+
+    os.makedirs(args.output, exist_ok=True)
+    path = os.path.join(args.output, "timeline.png")
+    render_timeline_png(trace, path, show_messages=args.messages)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .trace import read_trace
+
+    trace = read_trace(args.trace)
+    for key, value in trace.summary().items():
+        print(f"{key:>12}: {value}")
+    if trace.attributes:
+        print("  attributes:")
+        for key, value in sorted(trace.attributes.items()):
+            print(f"    {key} = {value}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .trace import read_trace, validate_trace
+
+    report = validate_trace(read_trace(args.trace))
+    if report.ok:
+        print("trace is well-formed")
+        return 0
+    for issue in report.issues:
+        print(issue)
+    return 1
+
+
+def _cmd_baselines(args) -> int:
+    from .baselines import (
+        analyze_profile_only,
+        cluster_phases,
+        search_patterns,
+        select_representatives,
+    )
+    from .profiles import profile_trace
+    from .trace import read_trace
+
+    trace = read_trace(args.trace)
+    profile = profile_trace(trace)
+
+    print("== profile-only (TAU-style) ==")
+    po = analyze_profile_only(trace, profile)
+    print(f"  MPI share: {100 * po.mpi_share:.1f}%")
+    for finding in po.findings[:6]:
+        print(f"  [{finding.kind}] {finding.name}: {finding.detail}")
+
+    print("== pattern search (Scalasca-style) ==")
+    ps = search_patterns(trace, profile)
+    for inst in ps.top(5):
+        print(
+            f"  [{inst.pattern}] {inst.region}: severity {inst.severity:.4g}s"
+            f" waiting={inst.waiting_ranks[:3]} delaying={inst.delaying_ranks}"
+        )
+
+    print("== representatives (Mohror-style) ==")
+    rep = select_representatives(trace, profile)
+    print(
+        f"  {len(rep.representatives)} representatives for "
+        f"{trace.num_processes} processes (reduction {100 * rep.reduction:.0f}%)"
+    )
+
+    print("== phase clustering (Gonzalez-style) ==")
+    cl = cluster_phases(trace, profile=profile)
+    print(f"  {len(cl.bursts)} bursts, cluster sizes {cl.cluster_sizes().tolist()}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from .trace import read_trace
+
+    trace = read_trace(args.trace)
+    _write_trace(trace, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .core import analyze_trace, explain_segment
+    from .trace import read_trace
+
+    analysis = analyze_trace(read_trace(args.trace))
+    if args.function:
+        analysis = analysis.at_function(args.function)
+    rank, segment = args.rank, args.segment
+    if rank is None or segment is None:
+        hot = analysis.imbalance.hottest_segment()
+        if hot is None:
+            hot_rank = analysis.imbalance.hottest_rank()
+            if hot_rank is None:
+                print("no findings to explain; pass --rank and --segment")
+                return 1
+            # Use the rank's own slowest segment.
+            import numpy as np
+
+            rank = hot_rank.rank if rank is None else rank
+            sos = analysis.sos[rank].sos
+            segment = int(np.argmax(sos)) if segment is None else segment
+        else:
+            rank = hot.rank if rank is None else rank
+            segment = hot.segment_index if segment is None else segment
+    explanation = explain_segment(analysis, rank, segment)
+    print(explanation.format())
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from .core.streaming import StreamingAnalyzer
+    from .trace import read_trace
+
+    trace = read_trace(args.trace)
+    analyzer = StreamingAnalyzer(
+        trace.regions,
+        trace.num_processes,
+        dominant=args.function,
+        alert_threshold=args.threshold,
+    )
+    for rank in trace.ranks:
+        events = trace.events_of(rank)
+        for i in range(0, len(events), args.chunk):
+            for alert in analyzer.feed(rank, events[i : i + args.chunk]):
+                print(f"ALERT {alert}")
+    print(
+        f"streamed {trace.num_events} events; dominant "
+        f"{analyzer.dominant_name!r}; {len(analyzer.alerts)} alerts"
+    )
+    hot = analyzer.snapshot_hot_ranks()
+    if hot:
+        print(f"running totals flag ranks: {hot}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .core.compare import compare_traces
+    from .trace import read_trace
+
+    comparison = compare_traces(
+        read_trace(args.trace_a),
+        read_trace(args.trace_b),
+        dominant=args.function,
+        min_relative_delta=args.min_relative_delta,
+    )
+    print(comparison.format())
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "profile": _cmd_profile,
+    "render": _cmd_render,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "baselines": _cmd_baselines,
+    "convert": _cmd_convert,
+    "compare": _cmd_compare,
+    "explain": _cmd_explain,
+    "monitor": _cmd_monitor,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

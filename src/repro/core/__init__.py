@@ -1,0 +1,95 @@
+"""Core contribution: dominant functions, SOS-times, imbalance detection."""
+
+from .activity import ActivityShares, activity_shares
+from .classify import SyncClassifier, default_classifier
+from .commstats import CommMatrix, communication_matrix
+from .compare import (
+    RunComparison,
+    SegmentDelta,
+    compare_analyses,
+    compare_traces,
+)
+from .streaming import StreamAlert, StreamedSegment, StreamingAnalyzer
+from .explain import RegionShare, SegmentExplanation, explain_segment
+from .dominant import (
+    DominantCandidate,
+    DominantSelection,
+    rank_candidates,
+    select_dominant,
+)
+from .metrics import (
+    MetricSeries,
+    binned_metric_matrix,
+    metric_series,
+    metric_sos_correlation,
+    per_rank_metric_total,
+    segment_metric_delta,
+)
+from .imbalance import (
+    Hotspot,
+    ImbalanceReport,
+    RankHotspot,
+    detect_imbalances,
+    imbalance_percentage,
+    robust_zscores,
+)
+from .pipeline import AnalysisConfig, VariationAnalysis, analyze_trace
+from .segments import RankSegments, Segmentation, segment_trace
+from .sos import RankSOS, SOSResult, compute_sos, top_level_sync_mask
+from .variation import (
+    TrendResult,
+    binned_matrix,
+    detect_trend,
+    mann_kendall,
+    step_series,
+)
+
+__all__ = [
+    "ActivityShares",
+    "AnalysisConfig",
+    "CommMatrix",
+    "DominantCandidate",
+    "DominantSelection",
+    "Hotspot",
+    "MetricSeries",
+    "ImbalanceReport",
+    "RankHotspot",
+    "RunComparison",
+    "SegmentDelta",
+    "StreamAlert",
+    "StreamedSegment",
+    "StreamingAnalyzer",
+    "RankSOS",
+    "RegionShare",
+    "SegmentExplanation",
+    "RankSegments",
+    "SOSResult",
+    "Segmentation",
+    "SyncClassifier",
+    "TrendResult",
+    "VariationAnalysis",
+    "activity_shares",
+    "analyze_trace",
+    "communication_matrix",
+    "compare_analyses",
+    "compare_traces",
+    "binned_matrix",
+    "binned_metric_matrix",
+    "compute_sos",
+    "default_classifier",
+    "detect_imbalances",
+    "detect_trend",
+    "explain_segment",
+    "imbalance_percentage",
+    "mann_kendall",
+    "metric_series",
+    "metric_sos_correlation",
+    "per_rank_metric_total",
+    "rank_candidates",
+    "robust_zscores",
+    "segment_metric_delta",
+    "segment_trace",
+    "select_dominant",
+    "step_series",
+    "top_level_sync_mask",
+]

@@ -1,0 +1,215 @@
+"""End-to-end performance-variation analysis pipeline.
+
+Ties together the three steps of the paper's methodology (Section III):
+
+1. identification of time-dominant functions (:mod:`repro.core.dominant`),
+2. computation of performance variations between invocations
+   (:mod:`repro.core.segments`, :mod:`repro.core.sos`),
+3. preparation of the intuitive visualization
+   (:func:`repro.core.variation.binned_matrix`, rendered by
+   :mod:`repro.viz`),
+
+plus the automatic detection layer (:mod:`repro.core.imbalance`,
+:mod:`repro.core.variation`) that makes the guidance testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..profiles.profile import TraceProfile, profile_trace
+from ..profiles.replay import replay_trace
+from ..trace.definitions import Paradigm
+from ..trace.trace import Trace
+from ..trace.validate import validate_trace
+from .classify import SyncClassifier, default_classifier
+from .dominant import DominantSelection, select_dominant
+from .imbalance import ImbalanceReport, detect_imbalances
+from .segments import Segmentation, segment_trace
+from .sos import SOSResult, compute_sos
+from .variation import TrendResult, binned_matrix, detect_trend
+
+__all__ = ["AnalysisConfig", "VariationAnalysis", "analyze_trace"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunable knobs of the analysis pipeline.
+
+    Attributes
+    ----------
+    min_invocation_factor:
+        The dominant function must be invoked at least
+        ``min_invocation_factor * p`` times (paper: 2).
+    candidate_paradigms:
+        Paradigms eligible as dominant functions (default: USER code).
+    classifier:
+        Synchronization classifier for the SOS subtraction.
+    rank_threshold, segment_threshold:
+        Robust z-score cutoffs for the hotspot detectors.
+    validate:
+        Run structural trace validation before analysing.
+    level:
+        Initial refinement level (0 = the paper's selection).
+    """
+
+    min_invocation_factor: float = 2.0
+    candidate_paradigms: tuple[Paradigm, ...] = (Paradigm.USER,)
+    classifier: SyncClassifier = field(default_factory=default_classifier)
+    rank_threshold: float = 3.0
+    segment_threshold: float = 3.0
+    min_relative_excess: float = 0.1
+    max_findings: int = 50
+    validate: bool = True
+    level: int = 0
+
+
+class VariationAnalysis:
+    """Complete analysis result for one trace.
+
+    Exposes every intermediate product (profile, dominant selection,
+    segmentation, SOS result, detections) plus :meth:`refined` for the
+    paper's drill-down workflow and :meth:`heat_matrix` for rendering.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: AnalysisConfig,
+        profile: TraceProfile,
+        selection: DominantSelection,
+        segmentation: Segmentation,
+        sos: SOSResult,
+        imbalance: ImbalanceReport,
+        trend: TrendResult,
+        duration_trend: TrendResult,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.profile = profile
+        self.selection = selection
+        self.segmentation = segmentation
+        self.sos = sos
+        self.imbalance = imbalance
+        self.trend = trend
+        self.duration_trend = duration_trend
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def dominant_name(self) -> str:
+        return self.selection.name
+
+    @property
+    def dominant_region(self) -> int:
+        return self.selection.region
+
+    def hot_ranks(self) -> list[int]:
+        """Ranks flagged by the rank-level detector, hottest first."""
+        return [h.rank for h in self.imbalance.hot_ranks]
+
+    def hottest_rank(self) -> int | None:
+        h = self.imbalance.hottest_rank()
+        return h.rank if h else None
+
+    def hot_segments(self) -> list[tuple[int, int]]:
+        """(rank, segment_index) pairs flagged by the segment detector."""
+        return [(h.rank, h.segment_index) for h in self.imbalance.hot_segments]
+
+    def heat_matrix(
+        self, bins: int = 512, normalize: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Time-binned SOS matrix for heat-map rendering."""
+        return binned_matrix(self.sos, bins=bins, normalize=normalize)
+
+    # -- refinement -------------------------------------------------------
+
+    def refined(self, steps: int = 1) -> "VariationAnalysis":
+        """Re-run steps 2+3 with a finer dominant function.
+
+        Mirrors Section VII-B: "by choosing a function with a smaller
+        inclusive time we achieve a more fine-grained segmentation".
+        The expensive replay is reused.
+        """
+        selection = self.selection.refined(steps)
+        return _run(self.trace, self.config, self.profile, selection)
+
+    def at_function(self, name: str) -> "VariationAnalysis":
+        """Re-segment using the named candidate function."""
+        selection = self.selection.at_function(name)
+        return _run(self.trace, self.config, self.profile, selection)
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> str:
+        """Human-readable analysis report (see :mod:`repro.core.report`)."""
+        from .report import format_report
+
+        return format_report(self)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (see :mod:`repro.core.report`)."""
+        from .report import report_dict
+
+        return report_dict(self)
+
+
+def _run(
+    trace: Trace,
+    config: AnalysisConfig,
+    profile: TraceProfile,
+    selection: DominantSelection,
+) -> VariationAnalysis:
+    segmentation = segment_trace(profile.tables, selection.region)
+    sos = compute_sos(trace, segmentation, profile.tables, config.classifier)
+    imbalance = detect_imbalances(
+        sos,
+        rank_threshold=config.rank_threshold,
+        segment_threshold=config.segment_threshold,
+        min_relative_excess=config.min_relative_excess,
+        max_findings=config.max_findings,
+    )
+    trend = detect_trend(sos)
+    duration_trend = detect_trend(sos, use_plain_duration=True)
+    return VariationAnalysis(
+        trace=trace,
+        config=config,
+        profile=profile,
+        selection=selection,
+        segmentation=segmentation,
+        sos=sos,
+        imbalance=imbalance,
+        trend=trend,
+        duration_trend=duration_trend,
+    )
+
+
+def analyze_trace(
+    trace: Trace, config: AnalysisConfig | None = None
+) -> VariationAnalysis:
+    """Run the full performance-variation analysis on ``trace``.
+
+    Raises
+    ------
+    ValueError
+        If the trace fails structural validation, or if no
+        dominant-function candidate exists.
+    """
+    if config is None:
+        config = AnalysisConfig()
+    if config.validate:
+        validate_trace(trace).raise_if_invalid()
+
+    tables = replay_trace(trace)
+    profile = profile_trace(trace, tables)
+    selection = select_dominant(
+        trace,
+        stats=profile.stats,
+        tables=tables,
+        min_invocation_factor=config.min_invocation_factor,
+        candidate_paradigms=config.candidate_paradigms,
+        level=config.level,
+    )
+    return _run(trace, config, profile, selection)

@@ -1,0 +1,347 @@
+"""Streaming (in-situ) performance-variation analysis.
+
+The paper notes that "in-situ analysis while the target application is
+still running is feasible as well, but the performance analysis suite
+that we use for our prototype does not support such a workflow"
+(Section III).  This module implements that workflow: events are fed
+incrementally per process, segments complete online, SOS-times are
+computed on the fly, and anomalous invocations raise alerts while the
+run is still in flight.
+
+Protocol
+--------
+
+1. Create a :class:`StreamingAnalyzer` (optionally pinning the dominant
+   function up front — e.g. from a previous run's analysis).
+2. ``feed(rank, events)`` with time-ordered event chunks per rank.
+   During the warm-up phase the analyzer only collects running
+   per-function statistics; once ``warmup_invocations`` complete
+   invocations have been seen (or :meth:`select_now` is called), it
+   picks the dominant function with the paper's criterion and starts
+   segmenting *from that point on*.
+3. Completed segments are appended to per-rank series; each completed
+   segment is tested against the rank's recent history (median/MAD
+   over a sliding window) and materially slow ones become
+   :class:`StreamAlert` records immediately.
+
+Batch equivalence: fed a complete trace after pinning the dominant
+function, the streamed SOS values equal
+:func:`repro.core.sos.compute_sos` exactly (tested).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trace.definitions import RegionRegistry
+from ..trace.events import EventKind, EventList
+from .classify import SyncClassifier, default_classifier
+from .imbalance import _MAD_SCALE
+
+__all__ = ["StreamAlert", "StreamedSegment", "StreamingAnalyzer"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamedSegment:
+    """One completed dominant-function invocation seen in the stream."""
+
+    rank: int
+    index: int
+    t_start: float
+    t_stop: float
+    sync_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_stop - self.t_start
+
+    @property
+    def sos(self) -> float:
+        return self.duration - self.sync_time
+
+
+@dataclass(frozen=True, slots=True)
+class StreamAlert:
+    """A segment flagged as anomalous at completion time."""
+
+    segment: StreamedSegment
+    zscore: float
+    window: int  # history size the z-score was computed against
+
+    def __str__(self) -> str:
+        s = self.segment
+        return (
+            f"rank {s.rank} segment {s.index} "
+            f"[{s.t_start:.6g}, {s.t_stop:.6g}]: SOS {s.sos:.6g} "
+            f"(z={self.zscore:.1f} over {self.window} recent segments)"
+        )
+
+
+class _RankStream:
+    """Per-process incremental state machine."""
+
+    __slots__ = (
+        "rank",
+        "stack",
+        "sync_nesting",
+        "sync_start",
+        "segment_start",
+        "segment_sync",
+        "dominant_nesting",
+        "segments",
+        "recent_sos",
+        "last_time",
+    )
+
+    def __init__(self, rank: int, window: int) -> None:
+        self.rank = rank
+        self.stack: list[tuple[int, float]] = []
+        self.sync_nesting = 0
+        self.sync_start = 0.0
+        self.segment_start: float | None = None
+        self.segment_sync = 0.0
+        self.dominant_nesting = 0
+        self.segments: list[StreamedSegment] = []
+        self.recent_sos: deque[float] = deque(maxlen=window)
+        self.last_time = -np.inf
+
+
+class StreamingAnalyzer:
+    """Online segment/SOS computation over incrementally fed events.
+
+    Parameters
+    ----------
+    regions:
+        The region registry events refer to (shared with the producer).
+    num_processes:
+        Total number of processes (for the ``2p`` criterion).
+    dominant:
+        Region id or name to segment by; ``None`` enables automatic
+        warm-up selection.
+    warmup_invocations:
+        Complete invocations to observe before auto-selecting.
+    classifier:
+        Synchronization classifier (default: MPI/OpenMP policy).
+    window:
+        Sliding-window length for the online outlier test.
+    alert_threshold:
+        Robust z-score a completed segment must exceed to alert.
+    min_relative_excess:
+        Materiality bar relative to the window median.
+    """
+
+    def __init__(
+        self,
+        regions: RegionRegistry,
+        num_processes: int,
+        dominant: int | str | None = None,
+        warmup_invocations: int = 500,
+        classifier: SyncClassifier | None = None,
+        window: int = 32,
+        alert_threshold: float = 4.0,
+        min_relative_excess: float = 0.1,
+    ) -> None:
+        if num_processes <= 0:
+            raise ValueError("num_processes must be positive")
+        self.regions = regions
+        self.num_processes = num_processes
+        self.classifier = classifier if classifier is not None else default_classifier()
+        self.window = window
+        self.alert_threshold = alert_threshold
+        self.min_relative_excess = min_relative_excess
+        self.warmup_invocations = warmup_invocations
+
+        self._sync_mask = self.classifier.mask_registry(regions)
+        # (mask_registry accepts a bare RegionRegistry, see classify.py)
+        self._streams: dict[int, _RankStream] = {}
+        self.alerts: list[StreamAlert] = []
+
+        # Warm-up statistics for automatic dominant selection.
+        self._warmup_counts = np.zeros(len(regions), dtype=np.int64)
+        self._warmup_inclusive = np.zeros(len(regions), dtype=np.float64)
+        self._warmup_seen = 0
+
+        self.dominant: int | None = None
+        if dominant is not None:
+            self.dominant = (
+                regions.id_of(dominant) if isinstance(dominant, str) else int(dominant)
+            )
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def selected(self) -> bool:
+        return self.dominant is not None
+
+    @property
+    def dominant_name(self) -> str | None:
+        return self.regions[self.dominant].name if self.selected else None
+
+    def feed(self, rank: int, events: EventList) -> list[StreamAlert]:
+        """Process one time-ordered chunk of events for ``rank``.
+
+        Returns the alerts raised by this chunk (also appended to
+        :attr:`alerts`).
+        """
+        stream = self._stream(rank)
+        new_alerts: list[StreamAlert] = []
+        n = len(events)
+        times = events.time
+        kinds = events.kind
+        refs = events.ref
+        for i in range(n):
+            t = float(times[i])
+            if t < stream.last_time:
+                raise ValueError(
+                    f"rank {rank}: chunk not time-ordered "
+                    f"({t} after {stream.last_time})"
+                )
+            stream.last_time = t
+            kind = kinds[i]
+            if kind == EventKind.ENTER:
+                self._enter(stream, t, int(refs[i]))
+            elif kind == EventKind.LEAVE:
+                alert = self._leave(stream, t, int(refs[i]))
+                if alert is not None:
+                    new_alerts.append(alert)
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    def select_now(self) -> int:
+        """Force dominant-function selection from warm-up statistics."""
+        if self.selected:
+            return self.dominant  # type: ignore[return-value]
+        threshold = 2 * self.num_processes
+        eligible = np.flatnonzero(self._warmup_counts >= threshold)
+        eligible = [
+            r
+            for r in eligible
+            if not self._sync_mask[r]
+        ]
+        if not eligible:
+            raise ValueError(
+                "no dominant-function candidate in the warm-up window "
+                f"(need >= {threshold} invocations of a non-sync region)"
+            )
+        best = max(eligible, key=lambda r: self._warmup_inclusive[r])
+        self.dominant = int(best)
+        return self.dominant
+
+    def segments(self, rank: int) -> list[StreamedSegment]:
+        """Completed segments of one rank (so far)."""
+        stream = self._streams.get(rank)
+        return list(stream.segments) if stream else []
+
+    def sos_series(self, rank: int) -> np.ndarray:
+        """SOS values of one rank's completed segments."""
+        return np.asarray([s.sos for s in self.segments(rank)])
+
+    def per_rank_total(self) -> dict[int, float]:
+        """Running total SOS per rank."""
+        return {
+            rank: float(sum(s.sos for s in stream.segments))
+            for rank, stream in sorted(self._streams.items())
+        }
+
+    def snapshot_hot_ranks(self, threshold: float = 3.0) -> list[int]:
+        """Rank-level anomaly check over the running totals."""
+        totals = self.per_rank_total()
+        if len(totals) < 3:
+            return []
+        ranks = np.asarray(sorted(totals))
+        values = np.asarray([totals[r] for r in ranks])
+        med = float(np.median(values))
+        mad = float(np.median(np.abs(values - med))) * _MAD_SCALE
+        scale = max(mad, 0.01 * abs(med))
+        if scale <= 0:
+            return []
+        z = (values - med) / scale
+        hot = (z > threshold) & (values > med * (1 + self.min_relative_excess))
+        order = np.argsort(-z)
+        return [int(ranks[i]) for i in order if hot[i]]
+
+    # -- internals -----------------------------------------------------
+
+    def _stream(self, rank: int) -> _RankStream:
+        stream = self._streams.get(rank)
+        if stream is None:
+            stream = _RankStream(rank, self.window)
+            self._streams[rank] = stream
+        return stream
+
+    def _enter(self, stream: _RankStream, t: float, region: int) -> None:
+        stream.stack.append((region, t))
+        if self._sync_mask[region]:
+            if stream.sync_nesting == 0:
+                stream.sync_start = t
+            stream.sync_nesting += 1
+        if self.selected and region == self.dominant:
+            stream.dominant_nesting += 1
+            if stream.dominant_nesting == 1:
+                stream.segment_start = t
+                stream.segment_sync = 0.0
+
+    def _leave(self, stream: _RankStream, t: float, region: int) -> StreamAlert | None:
+        if not stream.stack or stream.stack[-1][0] != region:
+            raise ValueError(
+                f"rank {stream.rank}: leave of region {region} does not "
+                "match the open region"
+            )
+        _region, t_enter = stream.stack.pop()
+        if self._sync_mask[region]:
+            stream.sync_nesting -= 1
+            if stream.sync_nesting == 0 and stream.segment_start is not None:
+                stream.segment_sync += t - max(
+                    stream.sync_start, stream.segment_start
+                )
+
+        # Warm-up statistics (inclusive approximated by frame duration,
+        # which counts recursion multiply; exact for non-recursive
+        # frames, which dominate in practice).
+        if not self.selected:
+            self._warmup_counts[region] += 1
+            self._warmup_inclusive[region] += t - t_enter
+            self._warmup_seen += 1
+            if self._warmup_seen >= self.warmup_invocations:
+                try:
+                    self.select_now()
+                except ValueError:
+                    self.warmup_invocations *= 2  # keep collecting
+
+        if self.selected and region == self.dominant:
+            stream.dominant_nesting -= 1
+            if stream.dominant_nesting == 0 and stream.segment_start is not None:
+                segment = StreamedSegment(
+                    rank=stream.rank,
+                    index=len(stream.segments),
+                    t_start=stream.segment_start,
+                    t_stop=t,
+                    sync_time=stream.segment_sync,
+                )
+                stream.segment_start = None
+                stream.segments.append(segment)
+                return self._test_segment(stream, segment)
+        return None
+
+    def _test_segment(
+        self, stream: _RankStream, segment: StreamedSegment
+    ) -> StreamAlert | None:
+        history = stream.recent_sos
+        alert = None
+        if len(history) >= 8:
+            values = np.asarray(history)
+            med = float(np.median(values))
+            mad = float(np.median(np.abs(values - med))) * _MAD_SCALE
+            scale = max(mad, 0.01 * abs(med))
+            if scale > 0:
+                z = (segment.sos - med) / scale
+                material = segment.sos > med * (1 + self.min_relative_excess)
+                if z > self.alert_threshold and material:
+                    alert = StreamAlert(
+                        segment=segment, zscore=float(z), window=len(history)
+                    )
+        history.append(segment.sos)
+        return alert

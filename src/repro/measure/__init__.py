@@ -1,0 +1,7 @@
+"""Measurement layer: instrument Python code into analysable traces."""
+
+from .clock import Clock, ManualClock, WallClock
+from .measurement import Measurement
+from .recorder import Recorder
+
+__all__ = ["Clock", "ManualClock", "Measurement", "Recorder", "WallClock"]

@@ -1,0 +1,57 @@
+"""Clocks for the measurement layer.
+
+Real measurements use a monotonic wall clock with a common epoch so all
+logical processes share a time base; tests and deterministic examples
+use a manually advanced clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "ManualClock"]
+
+
+class Clock:
+    """Interface: :meth:`now` returns seconds since the clock's epoch."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall clock; epoch fixed at construction.
+
+    All processes of one measurement share a single instance, giving a
+    globally consistent time base (the simulator equivalent of a
+    cluster-wide synchronised clock).
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+
+class ManualClock(Clock):
+    """Deterministic clock advanced explicitly by the test/caller."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` (must be non-negative)."""
+        if dt < 0:
+            raise ValueError("cannot move time backwards")
+        self._now += dt
+        return self._now
+
+    def set(self, t: float) -> None:
+        """Jump to absolute time ``t`` (must not move backwards)."""
+        if t < self._now:
+            raise ValueError("cannot move time backwards")
+        self._now = float(t)

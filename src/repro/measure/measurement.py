@@ -1,0 +1,134 @@
+"""Measurement session: Score-P-like runtime for Python applications.
+
+A :class:`Measurement` owns the shared clock, the definition
+registries and one :class:`~repro.measure.recorder.Recorder` per
+logical process (an actual thread, a worker index, or any unit the
+application calls a processing element).  ``finish()`` freezes the
+collected events into a standard :class:`~repro.trace.trace.Trace`
+that the full analysis/visualization stack consumes — instrumented
+Python programs and simulated MPI runs are analysed identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from ..trace.builder import TraceBuilder
+from ..trace.definitions import MetricMode, Paradigm, RegionRole
+from ..trace.trace import Trace
+from .clock import Clock, WallClock
+from .recorder import Recorder
+
+__all__ = ["Measurement"]
+
+
+class Measurement:
+    """An open measurement session.
+
+    Parameters
+    ----------
+    name:
+        Trace name.
+    clock:
+        Shared time source (default: monotonic wall clock).
+    attributes:
+        Run metadata stored in the trace.
+
+    Thread safety: definition registration is locked; each
+    :class:`Recorder` must be used by one thread at a time (the usual
+    per-location constraint of measurement systems).
+    """
+
+    def __init__(
+        self,
+        name: str = "measurement",
+        clock: Clock | None = None,
+        attributes: Mapping[str, str] | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else WallClock()
+        self._builder = TraceBuilder(name=name, attributes=dict(attributes or {}))
+        self._recorders: dict[int, Recorder] = {}
+        self._threads: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._finished = False
+
+    # -- definitions (thread-safe) ------------------------------------------
+
+    def region(
+        self,
+        name: str,
+        paradigm: Paradigm = Paradigm.USER,
+        role: RegionRole | None = None,
+    ) -> int:
+        with self._lock:
+            return self._builder.region(name, paradigm=paradigm, role=role)
+
+    def metric(
+        self,
+        name: str,
+        unit: str = "#",
+        mode: MetricMode = MetricMode.ACCUMULATED,
+    ) -> int:
+        with self._lock:
+            return self._builder.metric(name, unit=unit, mode=mode)
+
+    # -- processes ----------------------------------------------------------
+
+    def process(
+        self, rank: int, name: str | None = None, clock: Clock | None = None
+    ) -> Recorder:
+        """Recorder for the logical process ``rank`` (created lazily).
+
+        ``clock`` overrides the measurement-wide clock for this
+        location — useful for deterministic tests and for simulating
+        concurrent processes from one driver thread (each location's
+        timestamps only need to be monotonic *per location*).
+        """
+        self._check_open()
+        with self._lock:
+            recorder = self._recorders.get(rank)
+            if recorder is None:
+                builder = self._builder.process(rank, name=name)
+                recorder = Recorder(builder, clock or self.clock, self)
+                self._recorders[rank] = recorder
+            return recorder
+
+    def thread_process(self) -> Recorder:
+        """Recorder bound to the calling thread (auto-assigned rank).
+
+        Threads map to consecutive ranks in first-call order, so a
+        thread-pool application gets one event stream per worker.
+        """
+        self._check_open()
+        ident = threading.get_ident()
+        with self._lock:
+            rank = self._threads.get(ident)
+            if rank is None:
+                rank = len(self._threads)
+                self._threads[ident] = rank
+        return self.process(rank, name=f"Thread {rank}")
+
+    @property
+    def num_processes(self) -> int:
+        return len(self._recorders)
+
+    # -- finalisation ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise RuntimeError("measurement already finished")
+
+    def finish(self, check_stacks: bool = True) -> Trace:
+        """Close the session and return the collected trace."""
+        self._check_open()
+        self._finished = True
+        return self._builder.freeze(check_stacks=check_stacks)
+
+    def __enter__(self) -> "Measurement":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Keep the session open on error so the caller can inspect it;
+        # finish() is explicit because it returns the trace.
+        pass

@@ -1,0 +1,133 @@
+"""Per-process event recorder: regions, counters, messages.
+
+The write-side API application code interacts with — the Score-P
+equivalent of the per-location measurement core.  Regions open via
+context manager or decorator; counters accumulate and emit METRIC
+events; explicit message records support communication bookkeeping.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Callable
+
+from ..trace.builder import ProcessBuilder
+from ..trace.definitions import MetricMode, Paradigm, RegionRole
+from .clock import Clock
+
+__all__ = ["Recorder"]
+
+
+class Recorder:
+    """Event recorder for one logical process.
+
+    Obtained from :class:`repro.measure.measurement.Measurement`; not
+    constructed directly.  All methods stamp events with the shared
+    measurement clock.
+    """
+
+    def __init__(self, builder: ProcessBuilder, clock: Clock, measurement) -> None:
+        self._builder = builder
+        self._clock = clock
+        self._measurement = measurement
+        self._counters: dict[str, float] = {}
+
+    @property
+    def rank(self) -> int:
+        return self._builder.location.id
+
+    @property
+    def depth(self) -> int:
+        """Current region nesting depth."""
+        return self._builder.depth
+
+    # -- regions ----------------------------------------------------------
+
+    def enter(self, name: str, paradigm: Paradigm = Paradigm.USER,
+              role: RegionRole | None = None) -> None:
+        """Enter a region explicitly (prefer :meth:`region`)."""
+        region_id = self._measurement.region(name, paradigm=paradigm, role=role)
+        self._builder.enter(self._clock.now(), region_id)
+
+    def leave(self, name: str | None = None) -> None:
+        """Leave the innermost region (name checked when given)."""
+        region_id = (
+            None if name is None else self._measurement.region(name)
+        )
+        self._builder.leave(self._clock.now(), region_id)
+
+    @contextmanager
+    def region(self, name: str, paradigm: Paradigm = Paradigm.USER,
+               role: RegionRole | None = None):
+        """Context manager recording one region invocation.
+
+        The region is left even when the body raises, so measured
+        applications that recover from exceptions still produce
+        well-formed traces.
+        """
+        self.enter(name, paradigm=paradigm, role=role)
+        try:
+            yield self
+        finally:
+            self.leave(name)
+
+    def instrument(
+        self, func: Callable | None = None, *, name: str | None = None
+    ) -> Callable:
+        """Decorator instrumenting every call of ``func`` as a region.
+
+        ::
+
+            rec = measurement.process(0)
+
+            @rec.instrument
+            def solve(n):
+                ...
+        """
+
+        def wrap(f: Callable) -> Callable:
+            region_name = name or f.__name__
+
+            @functools.wraps(f)
+            def wrapper(*args, **kwargs):
+                with self.region(region_name):
+                    return f(*args, **kwargs)
+
+            return wrapper
+
+        if func is not None:
+            return wrap(func)
+        return wrap
+
+    # -- counters ----------------------------------------------------------
+
+    def add_counter(self, name: str, increment: float, unit: str = "#") -> float:
+        """Accumulate a counter and emit a METRIC sample; returns the total."""
+        metric_id = self._measurement.metric(
+            name, unit=unit, mode=MetricMode.ACCUMULATED
+        )
+        value = self._counters.get(name, 0.0) + float(increment)
+        self._counters[name] = value
+        self._builder.metric(self._clock.now(), metric_id, value)
+        return value
+
+    def sample(self, name: str, value: float, unit: str = "#") -> None:
+        """Record an absolute metric sample (gauge semantics)."""
+        metric_id = self._measurement.metric(
+            name, unit=unit, mode=MetricMode.ABSOLUTE
+        )
+        self._builder.metric(self._clock.now(), metric_id, float(value))
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    # -- messages ----------------------------------------------------------
+
+    def message_send(self, dest: int, size: int = 0, tag: int = 0) -> None:
+        """Record an outgoing message event."""
+        self._builder.send(self._clock.now(), dest, size, tag)
+
+    def message_recv(self, source: int, size: int = 0, tag: int = 0) -> None:
+        """Record an incoming message event."""
+        self._builder.recv(self._clock.now(), source, size, tag)

@@ -1,0 +1,127 @@
+"""Reconstructions of the paper's illustrative figures as traces.
+
+The paper explains its method on three hand-drawn example traces; this
+module rebuilds them with the exact timings the text states, so tests
+and benchmarks can assert the published numbers:
+
+* :func:`figure1_trace` — inclusive vs. exclusive time (Section IV,
+  Figure 1): ``foo`` from t=0 to t=6 with a ``bar`` sub-call from t=2
+  to t=4, giving inclusive 6 and exclusive 4.
+* :func:`figure2_trace` — dominant-function selection (Figure 2):
+  three processes running ``main``/``i``/``a``/``b``/``c`` for 18 time
+  units; ``main`` has aggregated inclusive time 54 but only p=3
+  invocations; ``a`` has aggregated inclusive time 36 with 9
+  invocations and is the dominant function.
+* :func:`figure3_trace` — SOS-time computation (Figure 3): three
+  iterations of ``a`` containing ``calc`` + an ``MPI`` barrier.  The
+  first iteration lasts 6 with calc times 5/3/1 on processes 0/1/2,
+  so the SOS-times 5/3/1 expose the imbalance the plain durations
+  (6/6/6) hide.  Where the figure's exact values are ambiguous in the
+  source text, the reconstruction keeps the properties the paper
+  states: first iteration duration 6, middle duration 3, and
+  first-iteration SOS of 5 vs. 1 for processes 0 vs. 2.
+"""
+
+from __future__ import annotations
+
+from .trace.builder import TraceBuilder
+from .trace.definitions import Paradigm, RegionRole
+from .trace.trace import Trace
+
+__all__ = [
+    "figure1_trace",
+    "figure2_trace",
+    "figure3_trace",
+    "FIGURE3_CALC",
+    "FIGURE3_DURATIONS",
+]
+
+
+def figure1_trace() -> Trace:
+    """Figure 1: one process, ``foo`` [0, 6] calling ``bar`` [2, 4]."""
+    tb = TraceBuilder(name="paper-figure-1")
+    tb.region("foo")
+    tb.region("bar")
+    p = tb.process(0)
+    p.enter(0.0, "foo")
+    p.call(2.0, 4.0, "bar")
+    p.leave(6.0, "foo")
+    return tb.freeze()
+
+
+def figure2_trace() -> Trace:
+    """Figure 2: the dominant-function selection example.
+
+    Three processes, each running for 18 time units::
+
+        main [0, 18]
+          i [0, 1]
+          a [1, 5]    with sub-calls b [1.5, 2] and b [2.5, 3]
+          a [7, 11]   with sub-calls c [7.5, 8] and c [8.5, 9]
+          a [13, 17]
+
+    Aggregated inclusive times: main 3x18 = 54, a 9x4 = 36, i 3,
+    b 3, c 3.  ``main`` fails the 2p = 6 invocation criterion
+    (3 invocations); ``a`` passes (9 invocations) and wins.
+    """
+    tb = TraceBuilder(name="paper-figure-2")
+    for name in ("main", "i", "a", "b", "c"):
+        tb.region(name)
+    for rank in range(3):
+        p = tb.process(rank)
+        p.enter(0.0, "main")
+        p.call(0.0, 1.0, "i")
+        p.enter(1.0, "a")
+        p.call(1.5, 2.0, "b")
+        p.call(2.5, 3.0, "b")
+        p.leave(5.0, "a")
+        p.enter(7.0, "a")
+        p.call(7.5, 8.0, "c")
+        p.call(8.5, 9.0, "c")
+        p.leave(11.0, "a")
+        p.call(13.0, 17.0, "a")
+        p.leave(18.0, "main")
+    return tb.freeze()
+
+
+#: calc durations per iteration and process used by :func:`figure3_trace`:
+#: ``FIGURE3_CALC[iteration][process]``.
+FIGURE3_CALC = (
+    (5.0, 3.0, 1.0),
+    (2.0, 2.0, 2.0),
+    (4.0, 2.0, 1.0),
+)
+
+#: Resulting segment (iteration) durations, identical on every process.
+FIGURE3_DURATIONS = (6.0, 3.0, 5.0)
+
+
+def figure3_trace() -> Trace:
+    """Figure 3: the SOS-time example with barrier-style MPI waits.
+
+    Each iteration is one invocation of ``a`` containing ``calc``
+    followed by a synchronizing ``MPI`` call; all processes leave the
+    MPI call together when the slowest finishes (plus the barrier
+    cost of 1 in iteration 2).  Plain segment durations are identical
+    across processes (6 / 3 / 5) while the SOS-times reproduce the
+    hidden imbalance (first iteration: 5 / 3 / 1).
+    """
+    tb = TraceBuilder(name="paper-figure-3")
+    tb.region("main")
+    tb.region("a")
+    tb.region("calc")
+    tb.region("MPI", paradigm=Paradigm.MPI, role=RegionRole.SYNCHRONIZATION)
+
+    t_iter_start = (0.0, 6.0, 9.0)
+    for rank in range(3):
+        p = tb.process(rank)
+        p.enter(0.0, "main")
+        for it, t0 in enumerate(t_iter_start):
+            duration = FIGURE3_DURATIONS[it]
+            calc = FIGURE3_CALC[it][rank]
+            p.enter(t0, "a")
+            p.call(t0, t0 + calc, "calc")
+            p.call(t0 + calc, t0 + duration, "MPI")
+            p.leave(t0 + duration, "a")
+        p.leave(14.0, "main")
+    return tb.freeze()

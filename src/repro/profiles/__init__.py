@@ -1,0 +1,30 @@
+"""Profiling substrate: stack replay, flat profiles, call trees."""
+
+from .callpath import CallPathNode, CallTree, build_call_tree
+from .export import (
+    write_analysis_json,
+    write_profile_csv,
+    write_rank_summary_csv,
+    write_segments_csv,
+)
+from .profile import TraceProfile, profile_trace
+from .replay import InvocationTable, match_invocations, replay_trace
+from .stats import FunctionStatistics, RegionStats, compute_statistics
+
+__all__ = [
+    "CallPathNode",
+    "CallTree",
+    "FunctionStatistics",
+    "InvocationTable",
+    "RegionStats",
+    "TraceProfile",
+    "build_call_tree",
+    "write_analysis_json",
+    "write_profile_csv",
+    "write_rank_summary_csv",
+    "write_segments_csv",
+    "compute_statistics",
+    "match_invocations",
+    "profile_trace",
+    "replay_trace",
+]

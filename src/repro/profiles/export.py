@@ -1,0 +1,120 @@
+"""CSV/JSON export of profiles and analysis artifacts.
+
+Analysts routinely post-process findings in spreadsheets or notebooks;
+these exporters provide the stable, flat formats for that: the flat
+profile, per-rank summaries and the full segment/SOS table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..trace.definitions import Paradigm
+from .profile import TraceProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.pipeline import VariationAnalysis
+
+__all__ = [
+    "write_profile_csv",
+    "write_rank_summary_csv",
+    "write_segments_csv",
+    "write_analysis_json",
+]
+
+
+def write_profile_csv(profile: TraceProfile, path: str | os.PathLike) -> int:
+    """Write the flat profile; returns the number of data rows."""
+    rows = profile.stats.rows()
+    with open(path, "w", newline="", encoding="utf-8") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(
+            ["function", "paradigm", "count", "inclusive_sum",
+             "exclusive_sum", "inclusive_min", "inclusive_max"]
+        )
+        for row in rows:
+            region = profile.trace.regions[row.region]
+            writer.writerow(
+                [
+                    row.name,
+                    region.paradigm.name,
+                    row.count,
+                    f"{row.inclusive_sum:.9g}",
+                    f"{row.exclusive_sum:.9g}",
+                    f"{row.inclusive_min:.9g}",
+                    f"{row.inclusive_max:.9g}",
+                ]
+            )
+    return len(rows)
+
+
+def write_rank_summary_csv(
+    analysis: "VariationAnalysis", path: str | os.PathLike
+) -> int:
+    """Per-rank totals: SOS, sync, duration, segment count."""
+    sos = analysis.sos
+    ranks = sos.ranks
+    with open(path, "w", newline="", encoding="utf-8") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(
+            ["rank", "segments", "total_duration", "total_sync",
+             "total_sos", "max_segment_sos"]
+        )
+        for rank in ranks:
+            r = sos[rank]
+            writer.writerow(
+                [
+                    rank,
+                    len(r),
+                    f"{float(r.duration.sum()):.9g}",
+                    f"{float(r.sync_time.sum()):.9g}",
+                    f"{float(r.sos.sum()):.9g}",
+                    f"{float(r.sos.max()) if len(r) else 0.0:.9g}",
+                ]
+            )
+    return len(ranks)
+
+
+def write_segments_csv(
+    analysis: "VariationAnalysis", path: str | os.PathLike
+) -> int:
+    """Full segment table (one row per dominant-function invocation)."""
+    sos = analysis.sos
+    seg = analysis.segmentation
+    n = 0
+    with open(path, "w", newline="", encoding="utf-8") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(
+            ["rank", "segment", "t_start", "t_stop", "duration",
+             "sync_time", "sos"]
+        )
+        for rank in sos.ranks:
+            r = sos[rank]
+            s = seg[rank]
+            for i in range(len(r)):
+                writer.writerow(
+                    [
+                        rank,
+                        i,
+                        f"{float(s.t_start[i]):.9g}",
+                        f"{float(s.t_stop[i]):.9g}",
+                        f"{float(r.duration[i]):.9g}",
+                        f"{float(r.sync_time[i]):.9g}",
+                        f"{float(r.sos[i]):.9g}",
+                    ]
+                )
+                n += 1
+    return n
+
+
+def write_analysis_json(
+    analysis: "VariationAnalysis", path: str | os.PathLike
+) -> None:
+    """The :meth:`~repro.core.pipeline.VariationAnalysis.to_dict` payload."""
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(analysis.to_dict(), fp, indent=2)

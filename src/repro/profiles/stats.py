@@ -1,0 +1,115 @@
+"""Per-function aggregated statistics (flat profile).
+
+This is the data a classical profiler (TAU, HPCToolkit) reports and the
+input to the dominant-function heuristic of the paper's Section IV:
+aggregated inclusive time and invocation counts per function, across
+all processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.trace import Trace
+from .replay import InvocationTable, replay_trace
+
+__all__ = ["RegionStats", "FunctionStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegionStats:
+    """Aggregated timings of one region across the whole run.
+
+    ``inclusive_sum`` counts *outermost* invocations only, so recursive
+    functions are not double-counted; ``count`` counts every invocation
+    (that is what the paper's ``>= 2p`` criterion refers to).
+    """
+
+    region: int
+    name: str
+    count: int
+    inclusive_sum: float
+    exclusive_sum: float
+    inclusive_min: float
+    inclusive_max: float
+
+    @property
+    def inclusive_mean(self) -> float:
+        return self.inclusive_sum / self.count if self.count else 0.0
+
+
+class FunctionStatistics:
+    """Column-oriented per-region statistics for one trace.
+
+    Attributes (all NumPy arrays indexed by region id):
+
+    * ``count`` — total invocation count across all processes.
+    * ``inclusive_sum`` — aggregated inclusive time (outermost frames).
+    * ``exclusive_sum`` — aggregated exclusive time (all frames).
+    * ``inclusive_min`` / ``inclusive_max`` — extreme single-invocation
+      inclusive durations (+inf/-inf for never-invoked regions).
+    """
+
+    def __init__(self, trace: Trace, tables: dict[int, InvocationTable]) -> None:
+        n_regions = len(trace.regions)
+        self._trace = trace
+        self.count = np.zeros(n_regions, dtype=np.int64)
+        self.inclusive_sum = np.zeros(n_regions, dtype=np.float64)
+        self.exclusive_sum = np.zeros(n_regions, dtype=np.float64)
+        self.inclusive_min = np.full(n_regions, np.inf, dtype=np.float64)
+        self.inclusive_max = np.full(n_regions, -np.inf, dtype=np.float64)
+        for table in tables.values():
+            if len(table) == 0:
+                continue
+            np.add.at(self.count, table.region, 1)
+            outer = table.outermost
+            np.add.at(
+                self.inclusive_sum, table.region[outer], table.inclusive[outer]
+            )
+            np.add.at(self.exclusive_sum, table.region, table.exclusive)
+            np.minimum.at(self.inclusive_min, table.region, table.inclusive)
+            np.maximum.at(self.inclusive_max, table.region, table.inclusive)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.count)
+
+    def of(self, region: int | str) -> RegionStats:
+        """Statistics row for one region (by id or name)."""
+        if isinstance(region, str):
+            region = self._trace.regions.id_of(region)
+        return RegionStats(
+            region=region,
+            name=self._trace.regions[region].name,
+            count=int(self.count[region]),
+            inclusive_sum=float(self.inclusive_sum[region]),
+            exclusive_sum=float(self.exclusive_sum[region]),
+            inclusive_min=float(self.inclusive_min[region]),
+            inclusive_max=float(self.inclusive_max[region]),
+        )
+
+    def rows(self) -> list[RegionStats]:
+        """All invoked regions, sorted by descending inclusive time."""
+        order = np.argsort(-self.inclusive_sum, kind="stable")
+        return [self.of(int(r)) for r in order if self.count[r] > 0]
+
+    def top_exclusive(self, k: int = 10) -> list[RegionStats]:
+        """The ``k`` regions with the largest aggregated exclusive time."""
+        order = np.argsort(-self.exclusive_sum, kind="stable")
+        out = [self.of(int(r)) for r in order if self.count[r] > 0]
+        return out[:k]
+
+
+def compute_statistics(
+    trace: Trace, tables: dict[int, InvocationTable] | None = None
+) -> FunctionStatistics:
+    """Aggregate per-function statistics for ``trace``.
+
+    ``tables`` may be passed to reuse invocation tables computed
+    elsewhere in the pipeline (replay is the dominant cost).
+    """
+    if tables is None:
+        tables = replay_trace(trace)
+    return FunctionStatistics(trace, tables)

@@ -1,0 +1,36 @@
+"""Discrete-event MPI application simulator."""
+
+from . import ops
+from .countermodel import CounterSet, CounterSpec, FPU_EXCEPTIONS, PAPI_TOT_CYC
+from .engine import DeadlockError, SimResult, Simulator, simulate
+from .network import NetworkModel
+from .noise import (
+    CompositeNoise,
+    GaussianJitter,
+    NoNoise,
+    NoiseModel,
+    ScheduledInterruptions,
+)
+from .program import grid_coords, grid_rank, halo_exchange, neighbors_2d
+
+__all__ = [
+    "CompositeNoise",
+    "CounterSet",
+    "CounterSpec",
+    "DeadlockError",
+    "FPU_EXCEPTIONS",
+    "GaussianJitter",
+    "NetworkModel",
+    "NoNoise",
+    "NoiseModel",
+    "PAPI_TOT_CYC",
+    "ScheduledInterruptions",
+    "SimResult",
+    "Simulator",
+    "grid_coords",
+    "grid_rank",
+    "halo_exchange",
+    "neighbors_2d",
+    "ops",
+    "simulate",
+]

@@ -1,0 +1,728 @@
+"""Discrete-event engine interpreting rank programs into traces.
+
+The engine runs one Python generator per rank (see
+:mod:`repro.sim.ops`), advances each rank's virtual clock, resolves
+blocking MPI semantics (collectives complete when the slowest
+participant arrives; receives complete when the matching message is
+available; rendezvous sends block until matched) and records a
+well-formed :class:`~repro.trace.trace.Trace` of the whole run.
+
+Blocking semantics are what make the paper's SOS-time necessary in the
+first place: a fast process spends the imbalance *waiting inside MPI*,
+which the engine reproduces faithfully rather than hard-coding.
+
+Scheduling uses the standard conservative co-routine approach: each
+rank runs until it blocks; whenever a blocking condition resolves, the
+affected ranks re-enter the ready queue.  If no rank can progress and
+some are unfinished, the engine raises :class:`DeadlockError` naming
+the blocked operations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable
+
+from ..trace.builder import ProcessBuilder, TraceBuilder
+from ..trace.definitions import MetricMode, Paradigm, RegionRole
+from ..trace.trace import Trace
+from . import ops
+from .countermodel import CounterSet
+from .network import NetworkModel
+from .noise import NoiseModel, NoNoise
+
+__all__ = ["Simulator", "SimResult", "DeadlockError", "simulate"]
+
+#: Trace region names for the simulated MPI operations.
+_MPI_REGION = {
+    ops.Barrier: "MPI_Barrier",
+    ops.Bcast: "MPI_Bcast",
+    ops.Reduce: "MPI_Reduce",
+    ops.Allreduce: "MPI_Allreduce",
+    ops.Allgather: "MPI_Allgather",
+    ops.Alltoall: "MPI_Alltoall",
+    ops.Gather: "MPI_Gather",
+    ops.Scatter: "MPI_Scatter",
+    ops.Sendrecv: "MPI_Sendrecv",
+    ops.Send: "MPI_Send",
+    ops.Recv: "MPI_Recv",
+    ops.Isend: "MPI_Isend",
+    ops.Irecv: "MPI_Irecv",
+    ops.Wait: "MPI_Wait",
+    ops.Waitall: "MPI_Waitall",
+}
+
+
+class DeadlockError(RuntimeError):
+    """No rank can progress but the program has not finished."""
+
+
+@dataclass(slots=True)
+class _SendRecord:
+    """A posted send awaiting its matching receive."""
+
+    src: int
+    dest: int
+    tag: int
+    size: int
+    post_time: float
+    eager: bool
+    #: Time the payload is available at the receiver (eager only).
+    avail_time: float
+    request: ops.Request | None = None  # for Isend
+    #: Set for blocking rendezvous sends: rank to resume on match.
+    blocked_rank: int | None = None
+
+
+@dataclass(slots=True)
+class _RecvRecord:
+    """A posted receive awaiting its matching send."""
+
+    src: int
+    dest: int
+    tag: int
+    post_time: float
+    request: ops.Request | None = None  # for Irecv
+    #: Set for blocking receives: rank to resume on match.
+    blocked_rank: int | None = None
+    complete_time: float | None = None
+
+
+@dataclass(slots=True)
+class _CollectiveSlot:
+    """Arrival bookkeeping for one collective occurrence."""
+
+    op_name: str
+    comm: ops.Comm
+    arrivals: dict[int, float] = field(default_factory=dict)
+    max_size: int = 0
+
+
+class _RankState:
+    __slots__ = (
+        "rank",
+        "gen",
+        "clock",
+        "status",
+        "blocked_on",
+        "resume_value",
+        "builder",
+        "counters",
+        "coll_seq",
+    )
+
+    READY = 0
+    BLOCKED = 1
+    DONE = 2
+
+    def __init__(self, rank: int, gen: Generator, builder: ProcessBuilder) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.status = _RankState.READY
+        self.blocked_on: str | None = None
+        self.resume_value: object = None
+        self.builder = builder
+        self.counters: dict[str, float] = {}
+        self.coll_seq: dict[int, int] = {}
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Output of one simulation run."""
+
+    trace: Trace
+    end_times: dict[int, float]
+    messages: int
+    collectives: int
+
+    @property
+    def makespan(self) -> float:
+        return max(self.end_times.values()) if self.end_times else 0.0
+
+
+class Simulator:
+    """Interpret per-rank programs into a trace.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    program:
+        ``program(rank, size) -> generator`` yielding
+        :class:`repro.sim.ops.Op` objects.
+    network:
+        Interconnect cost model.
+    noise:
+        OS noise model applied to computations.
+    counters:
+        Counter specifications sampled during the run.
+    name:
+        Name of the produced trace.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        program: Callable[[int, int], Generator],
+        network: NetworkModel | None = None,
+        noise: NoiseModel | None = None,
+        counters: CounterSet | None = None,
+        name: str = "simulation",
+        attributes: dict[str, str] | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self.network = network if network is not None else NetworkModel()
+        self.noise = noise if noise is not None else NoNoise()
+        self.counters = counters if counters is not None else CounterSet()
+        self.tb = TraceBuilder(name=name, attributes=attributes)
+        for spec in self.counters:
+            self.tb.metric(spec.name, unit=spec.unit, mode=spec.mode,
+                           description=spec.description)
+
+        self._states = [
+            _RankState(r, program(r, size), self.tb.process(r, name=f"Rank {r}"))
+            for r in range(size)
+        ]
+        self._ready: deque[int] = deque(range(size))
+        self._sends: dict[tuple[int, int, int], deque[_SendRecord]] = {}
+        self._recvs: dict[tuple[int, int, int], deque[_RecvRecord]] = {}
+        self._colls: dict[tuple[int, int], _CollectiveSlot] = {}
+        self._waiters: dict[int, tuple[tuple[ops.Request, ...], int]] = {}
+        self._messages = 0
+        self._collectives = 0
+
+    # -- public API -----------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Execute all rank programs to completion and build the trace."""
+        while self._ready:
+            rank = self._ready.popleft()
+            state = self._states[rank]
+            if state.status != _RankState.READY:
+                raise RuntimeError(
+                    f"scheduler invariant violated: rank {rank} dequeued "
+                    f"in state {state.status}"
+                )
+            self._step(state)
+        blocked = [s for s in self._states if s.status == _RankState.BLOCKED]
+        if blocked:
+            detail = ", ".join(
+                f"rank {s.rank} on {s.blocked_on}" for s in blocked[:8]
+            )
+            raise DeadlockError(f"simulation deadlocked: {detail}")
+        trace = self.tb.freeze()
+        return SimResult(
+            trace=trace,
+            end_times={s.rank: s.clock for s in self._states},
+            messages=self._messages,
+            collectives=self._collectives,
+        )
+
+    # -- scheduling core -----------------------------------------------------
+
+    def _make_ready(self, rank: int, value: object = None) -> None:
+        state = self._states[rank]
+        state.status = _RankState.READY
+        state.blocked_on = None
+        state.resume_value = value
+        self._ready.append(rank)
+
+    def _step(self, state: _RankState) -> None:
+        """Run one rank until it blocks or its program ends."""
+        gen = state.gen
+        while True:
+            try:
+                if state.resume_value is None:
+                    op = next(gen)
+                else:
+                    value, state.resume_value = state.resume_value, None
+                    op = gen.send(value)
+            except StopIteration:
+                state.status = _RankState.DONE
+                self._emit_final_samples(state)
+                return
+            blocked = self._dispatch(state, op)
+            if blocked:
+                state.status = _RankState.BLOCKED
+                return
+
+    # -- op dispatch -----------------------------------------------------
+
+    def _dispatch(self, state: _RankState, op: ops.Op) -> bool:
+        """Interpret one op; return True if the rank must block."""
+        if isinstance(op, ops.Compute):
+            if op.seconds < 0 or op.interruption < 0:
+                raise ValueError(
+                    f"rank {state.rank}: negative Compute duration {op!r}"
+                )
+            self._do_compute(state, op)
+        elif isinstance(op, ops.Elapse):
+            if op.seconds < 0:
+                raise ValueError(
+                    f"rank {state.rank}: negative Elapse duration {op!r}"
+                )
+            state.clock += op.seconds
+        elif isinstance(op, ops.Enter):
+            region = self.tb.region(op.region)
+            state.builder.enter(state.clock, region)
+        elif isinstance(op, ops.Leave):
+            region = None if op.region is None else self.tb.region(op.region)
+            state.builder.leave(state.clock, region)
+        elif isinstance(op, ops.Sample):
+            metric = self.tb.metric(op.metric)
+            value = (
+                state.counters.get(op.metric, 0.0) if op.value is None else op.value
+            )
+            state.builder.metric(state.clock, metric, value)
+        elif isinstance(op, (ops.Barrier, ops.Bcast, ops.Reduce,
+                             ops.Allreduce, ops.Allgather, ops.Alltoall,
+                             ops.Gather, ops.Scatter)):
+            return self._do_collective(state, op)
+        elif isinstance(op, ops.Sendrecv):
+            return self._do_sendrecv(state, op)
+        elif isinstance(op, ops.Send):
+            return self._do_send(state, op)
+        elif isinstance(op, ops.Recv):
+            return self._do_recv(state, op)
+        elif isinstance(op, ops.Isend):
+            self._do_isend(state, op)
+        elif isinstance(op, ops.Irecv):
+            self._do_irecv(state, op)
+        elif isinstance(op, ops.Wait):
+            return self._do_wait(state, (op.request,), "MPI_Wait")
+        elif isinstance(op, ops.Waitall):
+            return self._do_wait(state, op.requests, "MPI_Waitall")
+        else:
+            raise TypeError(f"rank {state.rank} yielded non-op {op!r}")
+        return False
+
+    # -- computation -----------------------------------------------------
+
+    def _do_compute(self, state: _RankState, op: ops.Compute) -> None:
+        t0 = state.clock
+        interruption = op.interruption + self.noise.interruption(
+            state.rank, t0, op.seconds
+        )
+        wall = op.seconds + interruption
+        region = self.tb.region(op.region) if op.region else None
+        if region is not None:
+            state.builder.enter(t0, region)
+        state.clock = t0 + wall
+        changed = []
+        for spec in self.counters:
+            inc = spec.increment(state.rank, op.seconds)
+            if inc:
+                state.counters[spec.name] = state.counters.get(spec.name, 0.0) + inc
+                changed.append(spec.name)
+        if op.counters:
+            for name, inc in op.counters.items():
+                self.tb.metric(name)  # lazily define
+                state.counters[name] = state.counters.get(name, 0.0) + float(inc)
+                if name not in changed:
+                    changed.append(name)
+        for name in changed:
+            state.builder.metric(
+                state.clock, self.tb.metrics.id_of(name), state.counters[name]
+            )
+        if region is not None:
+            state.builder.leave(state.clock, region)
+
+    def _emit_final_samples(self, state: _RankState) -> None:
+        """Flush final counter values so step charts extend to the end."""
+        for name, value in sorted(state.counters.items()):
+            state.builder.metric(state.clock, self.tb.metrics.id_of(name), value)
+
+    # -- MPI region helpers -----------------------------------------------------
+
+    def _mpi_region(self, op: ops.Op) -> int:
+        name = _MPI_REGION[type(op)]
+        return self.tb.region(name, paradigm=Paradigm.MPI)
+
+    # -- collectives -----------------------------------------------------
+
+    def _resolve_comm(self, comm: ops.Comm) -> ops.Comm:
+        if comm is ops.WORLD or (comm.id == 0 and not comm.ranks):
+            return ops.Comm(id=0, ranks=tuple(range(self.size)))
+        return comm
+
+    def _collective_cost(self, op: ops.Op, size: int, p: int) -> float:
+        net = self.network
+        if isinstance(op, ops.Barrier):
+            return net.barrier_cost(p)
+        if isinstance(op, ops.Bcast):
+            return net.bcast_cost(size, p)
+        if isinstance(op, ops.Reduce):
+            return net.reduce_cost(size, p)
+        if isinstance(op, ops.Allreduce):
+            return net.allreduce_cost(size, p)
+        if isinstance(op, ops.Allgather):
+            return net.allgather_cost(size, p)
+        if isinstance(op, ops.Alltoall):
+            return net.alltoall_cost(size, p)
+        if isinstance(op, ops.Gather):
+            return net.gather_cost(size, p)
+        if isinstance(op, ops.Scatter):
+            return net.scatter_cost(size, p)
+        raise TypeError(f"not a collective: {op!r}")
+
+    def _do_collective(self, state: _RankState, op) -> bool:
+        comm = self._resolve_comm(op.comm)
+        if state.rank not in comm.ranks:
+            raise ValueError(
+                f"rank {state.rank} calls a collective on communicator "
+                f"{comm.id} it does not belong to"
+            )
+        seq = state.coll_seq.get(comm.id, 0)
+        state.coll_seq[comm.id] = seq + 1
+        key = (comm.id, seq)
+        slot = self._colls.get(key)
+        op_name = _MPI_REGION[type(op)]
+        if slot is None:
+            slot = _CollectiveSlot(op_name=op_name, comm=comm)
+            self._colls[key] = slot
+        elif slot.op_name != op_name:
+            raise RuntimeError(
+                f"collective mismatch on comm {comm.id} occurrence {seq}: "
+                f"{slot.op_name} vs {op_name} (rank {state.rank})"
+            )
+        region = self._mpi_region(op)
+        state.builder.enter(state.clock, region)
+        slot.arrivals[state.rank] = state.clock
+        slot.max_size = max(slot.max_size, getattr(op, "size", 0))
+
+        if len(slot.arrivals) == comm.size:
+            del self._colls[key]
+            self._collectives += 1
+            finish = max(slot.arrivals.values()) + self._collective_cost(
+                op, slot.max_size, comm.size
+            )
+            for rank in comm.ranks:
+                other = self._states[rank]
+                other.clock = finish
+                other.builder.leave(finish, region)
+                if rank != state.rank:
+                    self._make_ready(rank)
+            return False  # caller continues immediately
+        state.blocked_on = f"{op_name}(comm={comm.id}, seq={seq})"
+        return True
+
+    # -- point-to-point: posting -----------------------------------------------------
+
+    def _send_queue(self, key) -> deque:
+        return self._sends.setdefault(key, deque())
+
+    def _recv_queue(self, key) -> deque:
+        return self._recvs.setdefault(key, deque())
+
+    def _pop_pending_recv(self, key) -> _RecvRecord | None:
+        queue = self._recvs.get(key)
+        if not queue:
+            return None
+        recv = queue.popleft()
+        if not queue:
+            del self._recvs[key]
+        return recv
+
+    def _pop_pending_send(self, key) -> _SendRecord | None:
+        queue = self._sends.get(key)
+        if not queue:
+            return None
+        send = queue.popleft()
+        if not queue:
+            del self._sends[key]
+        return send
+
+    def _do_sendrecv(self, state: _RankState, op: ops.Sendrecv) -> bool:
+        """Combined exchange: post the receive, eager-send, then wait.
+
+        Implemented as Irecv + Isend + Waitall so it can never deadlock
+        even when all ranks call it simultaneously (the MPI guarantee).
+        """
+        region = self._mpi_region(op)
+        t0 = state.clock
+        state.builder.enter(t0, region)
+        recv_size = op.size if op.recv_size is None else op.recv_size
+        # Post receive.
+        recv_request = ops.Request(state.rank, "recv", op.source, recv_size, op.tag)
+        recv_record = _RecvRecord(
+            src=op.source, dest=state.rank, tag=op.tag, post_time=t0,
+            request=recv_request,
+        )
+        match = self._match_recv(recv_record)
+        if match is not None:
+            completion, send = match
+            recv_request.complete_time = max(t0, completion)
+            recv_request.size = send.size
+        else:
+            self._recv_queue((op.source, state.rank, op.tag)).append(recv_record)
+        # Post send.
+        state.builder.send(t0, op.dest, op.size, op.tag)
+        send_request = ops.Request(state.rank, "send", op.dest, op.size, op.tag)
+        eager = self.network.is_eager(op.size)
+        send_record = _SendRecord(
+            src=state.rank, dest=op.dest, tag=op.tag, size=op.size,
+            post_time=t0, eager=eager,
+            avail_time=t0 + self.network.transfer_time(op.size),
+            request=send_request,
+        )
+        self._messages += 1
+        if eager:
+            send_request.complete_time = t0 + self.network.send_overhead
+        pending = self._pop_pending_recv((state.rank, op.dest, op.tag))
+        if pending is not None:
+            if eager:
+                payload_time = send_record.avail_time
+            else:
+                payload_time = self._rendezvous_completion(
+                    send_record, pending.post_time
+                )
+                send_request.complete_time = payload_time
+            self._deliver(pending, send_record, payload_time)
+        else:
+            self._send_queue((state.rank, op.dest, op.tag)).append(send_record)
+        # Wait for both.
+        requests = (recv_request, send_request)
+        if all(r.done for r in requests):
+            self._finish_wait(state, requests, region)
+            return False
+        self._waiters[state.rank] = (requests, region)
+        state.blocked_on = f"MPI_Sendrecv(dest={op.dest}, source={op.source})"
+        return True
+
+    def _do_send(self, state: _RankState, op: ops.Send) -> bool:
+        key = (state.rank, op.dest, op.tag)
+        region = self._mpi_region(op)
+        t0 = state.clock
+        state.builder.enter(t0, region)
+        state.builder.send(t0, op.dest, op.size, op.tag)
+        eager = self.network.is_eager(op.size)
+        record = _SendRecord(
+            src=state.rank,
+            dest=op.dest,
+            tag=op.tag,
+            size=op.size,
+            post_time=t0,
+            eager=eager,
+            avail_time=t0 + self.network.transfer_time(op.size),
+        )
+        self._messages += 1
+        if eager:
+            recv = self._pop_pending_recv(key)
+            if recv is not None:
+                self._deliver(recv, record, record.avail_time)
+            else:
+                self._send_queue(key).append(record)
+            state.clock = t0 + self.network.send_overhead
+            state.builder.leave(state.clock, region)
+            return False
+        # Rendezvous: the send completes only once matched.
+        recv = self._pop_pending_recv(key)
+        if recv is not None:
+            completion = self._rendezvous_completion(record, recv.post_time)
+            self._deliver(recv, record, completion)
+            state.clock = completion
+            state.builder.leave(completion, region)
+            return False
+        record.blocked_rank = state.rank
+        self._send_queue(key).append(record)
+        state.blocked_on = f"MPI_Send(dest={op.dest}, tag={op.tag})"
+        return True
+
+    def _do_isend(self, state: _RankState, op: ops.Isend) -> None:
+        key = (state.rank, op.dest, op.tag)
+        region = self._mpi_region(op)
+        t0 = state.clock
+        state.builder.enter(t0, region)
+        state.builder.send(t0, op.dest, op.size, op.tag)
+        request = ops.Request(state.rank, "send", op.dest, op.size, op.tag)
+        eager = self.network.is_eager(op.size)
+        record = _SendRecord(
+            src=state.rank,
+            dest=op.dest,
+            tag=op.tag,
+            size=op.size,
+            post_time=t0,
+            eager=eager,
+            avail_time=t0 + self.network.transfer_time(op.size),
+            request=request,
+        )
+        self._messages += 1
+        if eager:
+            request.complete_time = t0 + self.network.send_overhead
+        recv = self._pop_pending_recv(key)
+        if recv is not None:
+            if eager:
+                payload_time = record.avail_time
+            else:
+                payload_time = self._rendezvous_completion(record, recv.post_time)
+                request.complete_time = payload_time
+            self._deliver(recv, record, payload_time)
+        else:
+            self._send_queue(key).append(record)
+        state.clock = t0 + self.network.send_overhead
+        state.builder.leave(state.clock, region)
+        state.resume_value = request
+
+    def _do_recv(self, state: _RankState, op: ops.Recv) -> bool:
+        key = (op.source, state.rank, op.tag)
+        region = self._mpi_region(op)
+        t0 = state.clock
+        state.builder.enter(t0, region)
+        record = _RecvRecord(
+            src=op.source, dest=state.rank, tag=op.tag, post_time=t0,
+            blocked_rank=state.rank,
+        )
+        match = self._match_recv(record)
+        if match is not None:
+            completion, send = match
+            finish = max(t0, completion) + self.network.recv_overhead
+            state.clock = finish
+            state.builder.recv(finish, op.source, send.size, op.tag)
+            state.builder.leave(finish, region)
+            return False
+        self._recv_queue(key).append(record)
+        state.blocked_on = f"MPI_Recv(source={op.source}, tag={op.tag})"
+        return True
+
+    def _do_irecv(self, state: _RankState, op: ops.Irecv) -> None:
+        key = (op.source, state.rank, op.tag)
+        region = self._mpi_region(op)
+        t0 = state.clock
+        state.builder.enter(t0, region)
+        request = ops.Request(state.rank, "recv", op.source, op.size, op.tag)
+        record = _RecvRecord(
+            src=op.source, dest=state.rank, tag=op.tag, post_time=t0,
+            request=request,
+        )
+        match = self._match_recv(record)
+        if match is not None:
+            completion, send = match
+            request.complete_time = max(t0, completion)
+            request.size = send.size
+        else:
+            self._recv_queue(key).append(record)
+        state.clock = t0 + self.network.recv_overhead
+        state.builder.leave(state.clock, region)
+        state.resume_value = request
+
+    # -- point-to-point: matching -----------------------------------------------------
+
+    def _match_recv(
+        self, record: _RecvRecord
+    ) -> tuple[float, _SendRecord] | None:
+        """Try to match a freshly posted receive.
+
+        Returns ``(payload_time, send)`` on success.  If the matching
+        send was a pending *rendezvous* send, the (blocked or
+        nonblocking) sender side is completed here as well.
+        """
+        key = (record.src, record.dest, record.tag)
+        send = self._pop_pending_send(key)
+        if send is None:
+            return None
+        if send.eager:
+            return send.avail_time, send
+        completion = self._rendezvous_completion(send, record.post_time)
+        self._finish_rendezvous_sender(send, completion)
+        return completion, send
+
+    def _rendezvous_completion(self, send: _SendRecord, recv_post: float) -> float:
+        start = max(send.post_time + self.network.latency, recv_post)
+        return start + send.size / self.network.bandwidth
+
+    def _finish_rendezvous_sender(self, send: _SendRecord, completion: float) -> None:
+        """Complete the sender side of a matched rendezvous send.
+
+        Only called for sends that were *pending* in the queue, i.e.
+        whose rank is currently blocked (blocking send) or running
+        elsewhere (isend) — never for the rank being dispatched.
+        """
+        if send.request is not None:
+            send.request.complete_time = completion
+            self._check_waiters()
+        if send.blocked_rank is not None:
+            sender = self._states[send.blocked_rank]
+            sender.clock = completion
+            region = self.tb.region("MPI_Send", paradigm=Paradigm.MPI)
+            sender.builder.leave(completion, region)
+            self._make_ready(send.blocked_rank)
+
+    def _deliver(self, recv: _RecvRecord, send: _SendRecord, payload_time: float) -> None:
+        """Complete the receiver side of a match where the recv was pending."""
+        if recv.request is not None:  # Irecv
+            recv.request.complete_time = max(recv.post_time, payload_time)
+            self._check_waiters()
+            return
+        # Blocking receive: resume the receiver.
+        receiver = self._states[recv.blocked_rank]
+        finish = max(receiver.clock, payload_time) + self.network.recv_overhead
+        receiver.clock = finish
+        receiver.builder.recv(finish, send.src, send.size, send.tag)
+        region = self.tb.region("MPI_Recv", paradigm=Paradigm.MPI)
+        receiver.builder.leave(finish, region)
+        self._make_ready(recv.blocked_rank)
+
+    # -- wait -----------------------------------------------------
+
+    def _do_wait(
+        self, state: _RankState, requests: tuple[ops.Request, ...], name: str
+    ) -> bool:
+        region = self.tb.region(name, paradigm=Paradigm.MPI)
+        state.builder.enter(state.clock, region)
+        if all(r.done for r in requests):
+            self._finish_wait(state, requests, region)
+            return False
+        self._waiters[state.rank] = (requests, region)
+        state.blocked_on = f"{name}({len(requests)} requests)"
+        return True
+
+    def _finish_wait(
+        self, state: _RankState, requests: tuple[ops.Request, ...], region: int
+    ) -> None:
+        finish = max(
+            [state.clock] + [r.complete_time for r in requests]  # type: ignore[list-item]
+        )
+        for r in requests:
+            if r.kind == "recv":
+                state.builder.recv(finish, r.peer, r.size, r.tag)
+        state.clock = finish
+        state.builder.leave(finish, region)
+
+    def _check_waiters(self) -> None:
+        """Resume ranks whose waited-on requests have all completed."""
+        done = [
+            rank
+            for rank, (requests, _region) in self._waiters.items()
+            if all(r.done for r in requests)
+        ]
+        for rank in done:
+            requests, region = self._waiters.pop(rank)
+            state = self._states[rank]
+            self._finish_wait(state, requests, region)
+            self._make_ready(rank)
+
+
+def simulate(
+    size: int,
+    program: Callable[[int, int], Generator],
+    network: NetworkModel | None = None,
+    noise: NoiseModel | None = None,
+    counters: CounterSet | None = None,
+    name: str = "simulation",
+    attributes: dict[str, str] | None = None,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(
+        size=size,
+        program=program,
+        network=network,
+        noise=noise,
+        counters=counters,
+        name=name,
+        attributes=attributes,
+    ).run()

@@ -1,0 +1,84 @@
+"""Analytic network cost model for the MPI simulator.
+
+Point-to-point transfers follow the classic latency/bandwidth
+(Hockney) model; collectives use logarithmic tree costs, matching the
+behaviour of common MPI implementations closely enough for the
+*shape* of traces (who waits for whom, how costs grow with scale),
+which is all the variation analysis consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Timing parameters of the simulated interconnect.
+
+    Attributes
+    ----------
+    latency:
+        One-way small-message latency in seconds.
+    bandwidth:
+        Sustained point-to-point bandwidth in bytes/second.
+    eager_threshold:
+        Message size (bytes) up to which sends complete without waiting
+        for the receiver (eager protocol); larger messages use
+        rendezvous and block until matched.
+    send_overhead, recv_overhead:
+        CPU-side per-message costs added to the caller.
+    """
+
+    latency: float = 1.0e-6
+    bandwidth: float = 5.0e9
+    eager_threshold: int = 64 * 1024
+    send_overhead: float = 2.0e-7
+    recv_overhead: float = 2.0e-7
+
+    def transfer_time(self, size: int) -> float:
+        """Wire time of one message of ``size`` bytes."""
+        return self.latency + size / self.bandwidth
+
+    def is_eager(self, size: int) -> bool:
+        return size <= self.eager_threshold
+
+    # -- collectives ---------------------------------------------------
+
+    def _rounds(self, p: int) -> int:
+        return max(1, math.ceil(math.log2(max(p, 2))))
+
+    def barrier_cost(self, p: int) -> float:
+        """Dissemination barrier: ceil(log2 p) latency-bound rounds."""
+        return self._rounds(p) * self.latency
+
+    def bcast_cost(self, size: int, p: int) -> float:
+        """Binomial-tree broadcast."""
+        return self._rounds(p) * self.transfer_time(size)
+
+    def reduce_cost(self, size: int, p: int) -> float:
+        """Binomial-tree reduction (compute cost folded into latency)."""
+        return self._rounds(p) * self.transfer_time(size)
+
+    def allreduce_cost(self, size: int, p: int) -> float:
+        """Reduce + broadcast (factor 2 tree)."""
+        return 2.0 * self._rounds(p) * self.transfer_time(size)
+
+    def allgather_cost(self, size: int, p: int) -> float:
+        """Ring allgather: (p-1) steps of the per-rank block."""
+        return max(p - 1, 1) * self.transfer_time(size)
+
+    def alltoall_cost(self, size: int, p: int) -> float:
+        """Pairwise exchange: (p-1) rounds, one block per peer."""
+        return max(p - 1, 1) * self.transfer_time(size)
+
+    def gather_cost(self, size: int, p: int) -> float:
+        """Root-bound gather: latency tree + root receives p-1 blocks."""
+        return self._rounds(p) * self.latency + max(p - 1, 1) * size / self.bandwidth
+
+    def scatter_cost(self, size: int, p: int) -> float:
+        """Root-bound scatter (mirror of gather)."""
+        return self.gather_cost(size, p)

@@ -1,0 +1,103 @@
+"""OS-noise models for the MPI simulator.
+
+System noise — daemons, interrupts, page faults — preempts HPC
+processes and stretches their computations without any progress in
+hardware counters.  The second case study of the paper (COSMO-
+SPECS+FD4, Section VII-B) traces exactly such an event: one process is
+interrupted during a single function invocation, visible as a long
+invocation with a *low* ``PAPI_TOT_CYC`` count.
+
+A noise model maps each computation ``(rank, t_start, active_seconds)``
+to the extra wall time injected into it.  Interruption time never
+advances counters (the engine attributes counters to active time only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "GaussianJitter",
+    "ScheduledInterruptions",
+    "CompositeNoise",
+]
+
+
+class NoiseModel:
+    """Interface: :meth:`interruption` returns extra wall seconds."""
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        """Extra (non-computing) wall time injected into this compute op."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class NoNoise(NoiseModel):
+    """The quiet machine: no perturbation."""
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        return 0.0
+
+
+class GaussianJitter(NoiseModel):
+    """Half-normal multiplicative jitter: each computation stretches by
+    ``|N(0, sigma)| * active``.
+
+    OS noise only ever *adds* wall time, so the half-normal shape (all
+    mass above zero) is the natural fit; ``sigma`` scales the typical
+    relative stretch.
+
+    Deterministic per (seed, rank, start time): the model derives a
+    fresh PRNG from a hash of those values, so identical simulations
+    produce identical traces regardless of scheduling order.
+    """
+
+    def __init__(self, sigma: float = 0.01, seed: int = 0) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self.seed = seed
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        # Hash-based deterministic draw: independent of call ordering.
+        key = np.uint64(
+            (self.seed * 0x9E3779B97F4A7C15 + rank * 0xBF58476D1CE4E5B9)
+            & 0xFFFFFFFFFFFFFFFF
+        )
+        mix = np.uint64(int(t_start * 1e9) & 0xFFFFFFFFFFFFFFFF)
+        rng = np.random.default_rng(np.array([key, mix], dtype=np.uint64))
+        draw = abs(float(rng.normal(0.0, self.sigma)))
+        return draw * active
+
+
+@dataclass(frozen=True)
+class ScheduledInterruptions(NoiseModel):
+    """Deterministic preemptions: (rank, window, duration) triples.
+
+    A computation starting inside ``[t0, t1)`` on ``rank`` receives
+    ``duration`` seconds of interruption (once per matching window).
+    """
+
+    events: tuple[tuple[int, float, float, float], ...] = ()
+    # each entry: (rank, t0, t1, duration)
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        total = 0.0
+        for ev_rank, t0, t1, duration in self.events:
+            if ev_rank == rank and t0 <= t_start < t1:
+                total += duration
+        return total
+
+
+@dataclass(frozen=True)
+class CompositeNoise(NoiseModel):
+    """Sum of several noise models."""
+
+    models: tuple[NoiseModel, ...] = ()
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        return sum(m.interruption(rank, t_start, active) for m in self.models)

@@ -1,0 +1,81 @@
+"""Reusable program fragments for rank generators.
+
+Workload generators compose these helpers — halo exchanges, neighbour
+topology, sub-generators — instead of hand-rolling Isend/Irecv patterns
+in every model.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from . import ops
+
+__all__ = ["grid_coords", "grid_rank", "neighbors_2d", "halo_exchange"]
+
+
+def grid_coords(rank: int, px: int, py: int) -> tuple[int, int]:
+    """(column, row) of ``rank`` in a row-major ``px x py`` process grid."""
+    if not 0 <= rank < px * py:
+        raise ValueError(f"rank {rank} outside {px}x{py} grid")
+    return rank % px, rank // px
+
+
+def grid_rank(col: int, row: int, px: int, py: int) -> int:
+    """Inverse of :func:`grid_coords`."""
+    if not (0 <= col < px and 0 <= row < py):
+        raise ValueError(f"({col}, {row}) outside {px}x{py} grid")
+    return row * px + col
+
+
+def neighbors_2d(
+    rank: int, px: int, py: int, periodic: bool = False
+) -> list[int]:
+    """Face neighbours (W, E, S, N order) of ``rank`` in the process grid.
+
+    Non-periodic boundaries drop the missing neighbours.
+    """
+    col, row = grid_coords(rank, px, py)
+    out: list[int] = []
+    for dc, dr in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        c, r = col + dc, row + dr
+        if periodic:
+            c %= px
+            r %= py
+        elif not (0 <= c < px and 0 <= r < py):
+            continue
+        out.append(grid_rank(c, r, px, py))
+    return out
+
+
+def halo_exchange(
+    rank: int,
+    neighbors: Iterable[int],
+    size: int,
+    tag: int = 0,
+    region: str | None = "halo_exchange",
+) -> Generator:
+    """Nonblocking halo exchange with every neighbour.
+
+    Posts all receives first, then all sends, then waits on everything —
+    the canonical deadlock-free stencil pattern.  Yields from inside a
+    user region when ``region`` is given.
+
+    Message tags must distinguish the two directions of each pair: we
+    tag with ``tag`` so concurrent exchanges in one iteration need
+    distinct base tags.
+    """
+    nbrs = list(neighbors)
+    if region is not None:
+        yield ops.Enter(region)
+    requests = []
+    for nbr in nbrs:
+        req = yield ops.Irecv(nbr, size=size, tag=tag)
+        requests.append(req)
+    for nbr in nbrs:
+        req = yield ops.Isend(nbr, size=size, tag=tag)
+        requests.append(req)
+    if requests:
+        yield ops.Waitall(requests)
+    if region is not None:
+        yield ops.Leave(region)

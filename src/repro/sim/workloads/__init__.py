@@ -1,0 +1,19 @@
+"""Case-study and synthetic workloads for the MPI simulator."""
+
+from . import (
+    base,
+    cosmo_specs,
+    cosmo_specs_fd4,
+    hybrid_openmp,
+    synthetic,
+    wrf,
+)
+
+__all__ = [
+    "base",
+    "cosmo_specs",
+    "cosmo_specs_fd4",
+    "hybrid_openmp",
+    "synthetic",
+    "wrf",
+]

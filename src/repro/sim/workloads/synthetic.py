@@ -1,0 +1,145 @@
+"""Parametric synthetic workloads with known ground truth.
+
+Used by property-based tests, the detection-accuracy ablations (does
+SOS find the planted anomaly where plain durations do not?) and the
+scaling benchmarks.  Every anomaly is *planted* explicitly, so a test
+can assert the analysis recovers exactly what was injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...trace.trace import Trace
+from .. import ops
+from ..countermodel import CounterSet
+from ..engine import SimResult, simulate
+from ..network import NetworkModel
+from ..noise import GaussianJitter, NoiseModel, NoNoise
+
+__all__ = ["SyntheticConfig", "GroundTruth", "generate", "generate_result"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """What a correct analysis should find in a synthetic trace."""
+
+    slow_ranks: tuple[int, ...]
+    outlier_segments: tuple[tuple[int, int], ...]  # (rank, iteration)
+    has_trend: bool
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic iterative workload.
+
+    Structure per iteration: ``compute`` (region ``work``), an optional
+    halo ring exchange, then a synchronizing collective; all wrapped in
+    the ``iteration`` region that the dominant-function heuristic should
+    select.
+
+    Anomalies:
+
+    * ``slow_ranks``: rank → multiplicative compute factor (persistent
+      computational imbalance; the COSMO-SPECS pattern).
+    * ``outliers``: (rank, iteration) → extra seconds for that single
+      invocation (the FD4 interruption pattern).
+    * ``trend_per_step``: fractional compute growth per iteration on
+      *all* ranks (the gradual-slowdown pattern).
+    """
+
+    ranks: int = 16
+    iterations: int = 20
+    base_compute: float = 0.01
+    slow_ranks: dict[int, float] = field(default_factory=dict)
+    outliers: dict[tuple[int, int], float] = field(default_factory=dict)
+    trend_per_step: float = 0.0
+    halo_bytes: int = 8 * 1024
+    use_halo: bool = True
+    collective: str = "allreduce"  # "allreduce" | "barrier" | "none"
+    subiters: int = 1
+    jitter_sigma: float = 0.0
+    seed: int = 1
+
+    def ground_truth(self) -> GroundTruth:
+        return GroundTruth(
+            slow_ranks=tuple(sorted(self.slow_ranks)),
+            outlier_segments=tuple(sorted(self.outliers)),
+            has_trend=self.trend_per_step > 0,
+        )
+
+    def compute_seconds(self, rank: int, iteration: int) -> float:
+        """Planted active compute time for one (rank, iteration)."""
+        factor = self.slow_ranks.get(rank, 1.0)
+        growth = (1.0 + self.trend_per_step) ** iteration
+        return self.base_compute * factor * growth
+
+
+def _program_factory(config: SyntheticConfig):
+    collective = config.collective
+    if collective not in ("allreduce", "barrier", "none"):
+        raise ValueError(f"unknown collective {collective!r}")
+
+    def program(rank: int, size: int):
+        left, right = (rank - 1) % size, (rank + 1) % size
+        yield ops.Enter("main")
+        yield ops.Compute(0.001, region="setup")
+        for it in range(config.iterations):
+            yield ops.Enter("iteration")
+            extra = config.outliers.get((rank, it), 0.0)
+            for sub in range(config.subiters):
+                seconds = config.compute_seconds(rank, it) / config.subiters
+                interruption = extra if sub == 0 else 0.0
+                yield ops.Compute(
+                    seconds, region="work", interruption=interruption
+                )
+            if config.use_halo and size > 1:
+                r1 = yield ops.Irecv(left, size=config.halo_bytes, tag=7)
+                r2 = yield ops.Irecv(right, size=config.halo_bytes, tag=7)
+                s1 = yield ops.Isend(right, size=config.halo_bytes, tag=7)
+                s2 = yield ops.Isend(left, size=config.halo_bytes, tag=7)
+                yield ops.Waitall([r1, r2, s1, s2])
+            if collective == "allreduce":
+                yield ops.Allreduce(size=8)
+            elif collective == "barrier":
+                yield ops.Barrier()
+            yield ops.Leave("iteration")
+        yield ops.Leave("main")
+
+    return program
+
+
+def generate_result(
+    config: SyntheticConfig | None = None,
+    network: NetworkModel | None = None,
+    noise: NoiseModel | None = None,
+) -> SimResult:
+    """Simulate the synthetic workload and return the :class:`SimResult`."""
+    if config is None:
+        config = SyntheticConfig()
+    if noise is None:
+        noise = (
+            GaussianJitter(sigma=config.jitter_sigma, seed=config.seed)
+            if config.jitter_sigma > 0
+            else NoNoise()
+        )
+    return simulate(
+        size=config.ranks,
+        program=_program_factory(config),
+        network=network,
+        noise=noise,
+        counters=CounterSet((CounterSet.cycles(),)),
+        name="synthetic",
+        attributes={"workload": "synthetic"},
+    )
+
+
+def generate(config: SyntheticConfig | None = None, **overrides) -> Trace:
+    """Generate a synthetic trace (convenience wrapper)."""
+    if config is None:
+        config = SyntheticConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config or keyword overrides, not both")
+    return generate_result(config).trace

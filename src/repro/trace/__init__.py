@@ -1,0 +1,70 @@
+"""Trace data model and I/O (OTF2-like substrate).
+
+Public surface:
+
+* :class:`Trace`, :class:`ProcessTrace` — immutable trace containers.
+* :class:`EventList`, :class:`EventKind`, :class:`Event` — event streams.
+* :class:`TraceBuilder` — programmatic construction.
+* Definitions: :class:`Region`, :class:`Metric`, :class:`Location`,
+  :class:`Paradigm`, :class:`RegionRole`, :class:`MetricMode`.
+* I/O: :func:`read_trace`, :func:`read_jsonl`, :func:`write_jsonl`,
+  :func:`read_binary`, :func:`write_binary`.
+* Transformations: :func:`clip_trace`, :func:`filter_regions`,
+  :func:`select_ranks`, :func:`merge_traces`.
+* Validation: :func:`validate_trace`.
+"""
+
+from .binio import read_binary, write_binary
+from .builder import ProcessBuilder, TraceBuilder
+from .definitions import (
+    Location,
+    Metric,
+    MetricMode,
+    MetricRegistry,
+    Paradigm,
+    Region,
+    RegionRegistry,
+    RegionRole,
+    default_role,
+)
+from .events import Event, EventKind, EventList, EventListBuilder, NO_PARTNER, NO_REF
+from .filters import clip_trace, filter_regions, select_ranks
+from .merge import merge_traces
+from .reader import read_jsonl, read_trace
+from .trace import ProcessTrace, Trace
+from .validate import ValidationIssue, ValidationReport, validate_trace
+from .writer import write_jsonl
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventList",
+    "EventListBuilder",
+    "Location",
+    "Metric",
+    "MetricMode",
+    "MetricRegistry",
+    "NO_PARTNER",
+    "NO_REF",
+    "Paradigm",
+    "ProcessBuilder",
+    "ProcessTrace",
+    "Region",
+    "RegionRegistry",
+    "RegionRole",
+    "Trace",
+    "TraceBuilder",
+    "ValidationIssue",
+    "ValidationReport",
+    "clip_trace",
+    "default_role",
+    "filter_regions",
+    "merge_traces",
+    "read_binary",
+    "read_jsonl",
+    "read_trace",
+    "select_ranks",
+    "validate_trace",
+    "write_binary",
+    "write_jsonl",
+]

@@ -1,0 +1,175 @@
+"""Compact binary trace format (``.rpt``).
+
+Layout::
+
+    magic       b"RPTR"
+    version     u16 little-endian
+    header_len  u32 little-endian
+    header      UTF-8 JSON (definitions + per-location column manifest)
+    blobs       concatenated zlib-compressed column arrays
+
+The JSON header stores, for every location and column, the offset and
+compressed length of its blob plus the dtype, so columns can be read
+back with a single :func:`numpy.frombuffer` each.  Events never pass
+through Python objects on either path, keeping I/O at NumPy speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from .definitions import (
+    Location,
+    Metric,
+    MetricMode,
+    MetricRegistry,
+    Paradigm,
+    Region,
+    RegionRegistry,
+    RegionRole,
+)
+from .events import EventList
+from .trace import Trace
+
+__all__ = ["write_binary", "read_binary"]
+
+MAGIC = b"RPTR"
+BIN_VERSION = 1
+_COLUMNS = ("time", "kind", "ref", "partner", "size", "tag", "value")
+
+
+class BinaryFormatError(ValueError):
+    """Raised when a binary trace file is malformed."""
+
+
+def write_binary(trace: Trace, path: str | os.PathLike, compresslevel: int = 6) -> None:
+    """Serialise ``trace`` to ``path`` in the binary ``.rpt`` format."""
+    blobs: list[bytes] = []
+    offset = 0
+    location_manifest = []
+    for proc in trace.processes():
+        ev = proc.events
+        columns = {}
+        for col in _COLUMNS:
+            arr = getattr(ev, col)
+            blob = zlib.compress(arr.tobytes(), compresslevel)
+            columns[col] = {
+                "offset": offset,
+                "length": len(blob),
+                "dtype": arr.dtype.str,
+            }
+            blobs.append(blob)
+            offset += len(blob)
+        location_manifest.append(
+            {
+                "id": proc.location.id,
+                "name": proc.location.name,
+                "group": proc.location.group,
+                "n": len(ev),
+                "columns": columns,
+            }
+        )
+
+    header = {
+        "name": trace.name,
+        "attributes": trace.attributes,
+        "regions": [
+            {
+                "id": r.id,
+                "name": r.name,
+                "paradigm": int(r.paradigm),
+                "role": int(r.role),
+                "source_file": r.source_file,
+                "line": r.line,
+            }
+            for r in trace.regions
+        ],
+        "metrics": [
+            {
+                "id": m.id,
+                "name": m.name,
+                "unit": m.unit,
+                "mode": int(m.mode),
+                "description": m.description,
+            }
+            for m in trace.metrics
+        ],
+        "locations": location_manifest,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+
+    with open(path, "wb") as fp:
+        fp.write(MAGIC)
+        fp.write(struct.pack("<HI", BIN_VERSION, len(header_bytes)))
+        fp.write(header_bytes)
+        for blob in blobs:
+            fp.write(blob)
+
+
+def read_binary(path: str | os.PathLike) -> Trace:
+    """Read a trace from ``path`` in the binary ``.rpt`` format."""
+    with open(path, "rb") as fp:
+        magic = fp.read(4)
+        if magic != MAGIC:
+            raise BinaryFormatError(f"bad magic {magic!r}; not an .rpt trace")
+        version, header_len = struct.unpack("<HI", fp.read(6))
+        if version != BIN_VERSION:
+            raise BinaryFormatError(f"unsupported binary version {version}")
+        header = json.loads(fp.read(header_len).decode("utf-8"))
+        payload = fp.read()
+
+    regions = RegionRegistry()
+    for rec in header["regions"]:
+        regions.add(
+            Region(
+                id=rec["id"],
+                name=rec["name"],
+                paradigm=Paradigm(rec["paradigm"]),
+                role=RegionRole(rec["role"]),
+                source_file=rec.get("source_file", ""),
+                line=rec.get("line", 0),
+            )
+        )
+    metrics = MetricRegistry()
+    for rec in header["metrics"]:
+        metrics.add(
+            Metric(
+                id=rec["id"],
+                name=rec["name"],
+                unit=rec.get("unit", "#"),
+                mode=MetricMode(rec.get("mode", 0)),
+                description=rec.get("description", ""),
+            )
+        )
+
+    trace = Trace(
+        regions=regions,
+        metrics=metrics,
+        name=header.get("name", "trace"),
+        attributes=header.get("attributes", {}),
+    )
+    for loc_rec in header["locations"]:
+        n = loc_rec["n"]
+        arrays = []
+        for col in _COLUMNS:
+            spec = loc_rec["columns"][col]
+            start = spec["offset"]
+            stop = start + spec["length"]
+            raw = zlib.decompress(payload[start:stop])
+            arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+            if len(arr) != n:
+                raise BinaryFormatError(
+                    f"location {loc_rec['id']} column {col}: "
+                    f"expected {n} entries, found {len(arr)}"
+                )
+            arrays.append(arr)
+        location = Location(
+            id=loc_rec["id"], name=loc_rec["name"], group=loc_rec.get("group", "MPI")
+        )
+        trace.add_process(location, EventList(*arrays))
+    return trace

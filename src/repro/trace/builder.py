@@ -1,0 +1,220 @@
+"""Programmatic construction of well-formed traces.
+
+:class:`TraceBuilder` is the writing counterpart of :class:`Trace`: it
+owns the definition registries and one stack-checked per-process event
+builder (:class:`ProcessBuilder`) per location.  It is used by the
+measurement layer, the simulator's trace recorder, the toy traces from
+the paper's figures and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .definitions import (
+    Location,
+    MetricMode,
+    MetricRegistry,
+    Paradigm,
+    RegionRegistry,
+    RegionRole,
+)
+from .events import EventListBuilder
+from .trace import Trace
+
+__all__ = ["TraceBuilder", "ProcessBuilder"]
+
+
+class ProcessBuilder:
+    """Stack-checked event writer for a single location.
+
+    Guarantees that the produced stream is well-formed: timestamps are
+    non-decreasing and every ``leave`` matches the region on top of the
+    call stack.
+    """
+
+    def __init__(self, builder: "TraceBuilder", location: Location) -> None:
+        self._trace_builder = builder
+        self.location = location
+        self._events = EventListBuilder()
+        self._stack: list[int] = []
+
+    # -- stack state ----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current call-stack depth."""
+        return len(self._stack)
+
+    @property
+    def current_region(self) -> int | None:
+        """Region id on top of the stack, or ``None`` at top level."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def now(self) -> float | None:
+        """Timestamp of the last recorded event."""
+        return self._events.last_time
+
+    # -- event writing ----------------------------------------------------
+
+    def enter(self, time: float, region: int | str) -> int:
+        """Record entering a region (by id or by name) and return its id."""
+        region_id = self._resolve(region)
+        self._events.enter(time, region_id)
+        self._stack.append(region_id)
+        return region_id
+
+    def leave(self, time: float, region: int | str | None = None) -> int:
+        """Record leaving the current region.
+
+        If ``region`` is given it must match the top of the stack; this
+        catches interleaved enter/leave bugs in workload generators.
+        """
+        if not self._stack:
+            raise ValueError(
+                f"leave at t={time} on {self.location.name}: stack is empty"
+            )
+        top = self._stack[-1]
+        if region is not None:
+            region_id = self._resolve(region)
+            if region_id != top:
+                raise ValueError(
+                    f"leave({self._region_name(region_id)!r}) at t={time} does not "
+                    f"match open region {self._region_name(top)!r}"
+                )
+        self._stack.pop()
+        self._events.leave(time, top)
+        return top
+
+    def call(self, t_enter: float, t_leave: float, region: int | str) -> None:
+        """Record a complete leaf invocation (enter + leave)."""
+        if t_leave < t_enter:
+            raise ValueError(f"negative duration: [{t_enter}, {t_leave}]")
+        self.enter(t_enter, region)
+        self.leave(t_leave)
+
+    def send(self, time: float, partner: int, size: int = 0, tag: int = 0) -> None:
+        self._events.send(time, partner, size, tag)
+
+    def recv(self, time: float, partner: int, size: int = 0, tag: int = 0) -> None:
+        self._events.recv(time, partner, size, tag)
+
+    def metric(self, time: float, metric: int | str, value: float) -> None:
+        """Record a metric sample (metric by id or by name)."""
+        if isinstance(metric, str):
+            metric = self._trace_builder.metrics.id_of(metric)
+        self._events.metric(time, metric, value)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _resolve(self, region: int | str) -> int:
+        if isinstance(region, str):
+            return self._trace_builder.regions.id_of(region)
+        return int(region)
+
+    def _region_name(self, region_id: int) -> str:
+        return self._trace_builder.regions[region_id].name
+
+    def finish(self) -> None:
+        """Assert the call stack unwound completely."""
+        if self._stack:
+            open_names = [self._region_name(r) for r in self._stack]
+            raise ValueError(
+                f"{self.location.name}: unclosed regions at end of trace: "
+                f"{open_names}"
+            )
+
+
+class TraceBuilder:
+    """Build a complete :class:`Trace` with shared definitions.
+
+    Example
+    -------
+    >>> tb = TraceBuilder(name="toy")
+    >>> tb.region("main"); tb.region("MPI_Barrier", paradigm=Paradigm.MPI)
+    0
+    1
+    >>> p0 = tb.process(0)
+    >>> p0.enter(0.0, "main"); p0.leave(1.0)
+    0
+    0
+    >>> trace = tb.freeze()
+    """
+
+    def __init__(
+        self,
+        name: str = "trace",
+        attributes: Mapping[str, str] | None = None,
+    ) -> None:
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.regions = RegionRegistry()
+        self.metrics = MetricRegistry()
+        self._processes: dict[int, ProcessBuilder] = {}
+
+    # -- definitions ------------------------------------------------------
+
+    def region(
+        self,
+        name: str,
+        paradigm: Paradigm = Paradigm.USER,
+        role: RegionRole | None = None,
+        source_file: str = "",
+        line: int = 0,
+    ) -> int:
+        """Register a region definition and return its id."""
+        return self.regions.register(
+            name, paradigm=paradigm, role=role, source_file=source_file, line=line
+        )
+
+    def metric(
+        self,
+        name: str,
+        unit: str = "#",
+        mode: MetricMode = MetricMode.ABSOLUTE,
+        description: str = "",
+    ) -> int:
+        """Register a metric definition and return its id."""
+        return self.metrics.register(
+            name, unit=unit, mode=mode, description=description
+        )
+
+    # -- processes ----------------------------------------------------------
+
+    def process(self, rank: int, name: str | None = None, group: str = "MPI") -> ProcessBuilder:
+        """Return the (lazily created) builder for one location."""
+        pb = self._processes.get(rank)
+        if pb is None:
+            location = Location(id=rank, name=name or f"Process {rank}", group=group)
+            pb = ProcessBuilder(self, location)
+            self._processes[rank] = pb
+        return pb
+
+    @property
+    def num_processes(self) -> int:
+        return len(self._processes)
+
+    # -- finalisation ----------------------------------------------------------
+
+    def freeze(self, check_stacks: bool = True) -> Trace:
+        """Produce the immutable :class:`Trace`.
+
+        Parameters
+        ----------
+        check_stacks:
+            When true (default), raise if any process has unclosed
+            regions; disable only for deliberately truncated traces.
+        """
+        trace = Trace(
+            regions=self.regions,
+            metrics=self.metrics,
+            name=self.name,
+            attributes=self.attributes,
+        )
+        for rank in sorted(self._processes):
+            pb = self._processes[rank]
+            if check_stacks:
+                pb.finish()
+            trace.add_process(pb.location, pb._events.freeze())
+        return trace

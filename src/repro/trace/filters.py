@@ -1,0 +1,131 @@
+"""Trace transformations: time-window clipping and region filtering.
+
+These mirror the zoom / filter operations of interactive trace viewers
+(paper Section II): an analyst who spots a hotspot narrows the view to
+a window, or hides measurement-only regions.  Both operations return
+new traces and preserve enter/leave balance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .definitions import Region
+from .events import EventKind, EventList, EventListBuilder
+from .trace import Trace
+
+__all__ = ["clip_trace", "filter_regions", "select_ranks"]
+
+
+def _clip_stream(events: EventList, t0: float, t1: float) -> EventList:
+    """Clip one stream to [t0, t1], synthesising boundary enter/leave.
+
+    Regions already open at ``t0`` receive synthetic ENTER events at
+    ``t0`` (outermost first); regions still open at ``t1`` receive
+    synthetic LEAVE events at ``t1`` (innermost first).  This is how
+    timeline viewers render a zoomed window without losing the
+    enclosing call context.
+    """
+    out = EventListBuilder()
+    kinds = events.kind
+    times = events.time
+    refs = events.ref
+
+    # Call stack state at t0 (regions entered before the window that
+    # have not been left before the window).
+    lo = int(np.searchsorted(times, t0, side="left"))
+    stack: list[int] = []
+    for i in range(lo):
+        k = kinds[i]
+        if k == EventKind.ENTER:
+            stack.append(int(refs[i]))
+        elif k == EventKind.LEAVE:
+            if stack:
+                stack.pop()
+    for region in stack:  # outermost first
+        out.enter(t0, region)
+
+    hi = int(np.searchsorted(times, t1, side="right"))
+    for i in range(lo, hi):
+        k = kinds[i]
+        t = float(times[i])
+        if k == EventKind.ENTER:
+            stack.append(int(refs[i]))
+            out.enter(t, int(refs[i]))
+        elif k == EventKind.LEAVE:
+            if stack:
+                stack.pop()
+            out.leave(t, int(refs[i]))
+        elif k == EventKind.SEND:
+            out.send(t, int(events.partner[i]), int(events.size[i]), int(events.tag[i]))
+        elif k == EventKind.RECV:
+            out.recv(t, int(events.partner[i]), int(events.size[i]), int(events.tag[i]))
+        else:  # METRIC
+            out.metric(t, int(refs[i]), float(events.value[i]))
+
+    for region in reversed(stack):  # innermost first
+        out.leave(t1, region)
+    return out.freeze()
+
+
+def clip_trace(trace: Trace, t0: float, t1: float, name: str | None = None) -> Trace:
+    """Return a copy of ``trace`` restricted to the window ``[t0, t1]``."""
+    if t1 < t0:
+        raise ValueError(f"empty window: t1={t1} < t0={t0}")
+    clipped = Trace(
+        regions=trace.regions,
+        metrics=trace.metrics,
+        name=name or f"{trace.name}[{t0:g},{t1:g}]",
+        attributes=dict(trace.attributes),
+    )
+    for proc in trace.processes():
+        clipped.add_process(proc.location, _clip_stream(proc.events, t0, t1))
+    return clipped
+
+
+def filter_regions(
+    trace: Trace,
+    keep: Callable[[Region], bool],
+    name: str | None = None,
+) -> Trace:
+    """Drop enter/leave events of regions for which ``keep`` is false.
+
+    Children of removed regions are retained (they re-nest under the
+    removed region's parent), matching the semantics of region filters
+    in Score-P.  Metric and message events are always kept.
+    """
+    keep_mask = np.asarray([bool(keep(r)) for r in trace.regions], dtype=bool)
+    filtered = Trace(
+        regions=trace.regions,
+        metrics=trace.metrics,
+        name=name or f"{trace.name}|filtered",
+        attributes=dict(trace.attributes),
+    )
+    for proc in trace.processes():
+        ev = proc.events
+        enter_leave = (ev.kind == EventKind.ENTER) | (ev.kind == EventKind.LEAVE)
+        drop = np.zeros(len(ev), dtype=bool)
+        if len(ev):
+            drop[enter_leave] = ~keep_mask[ev.ref[enter_leave]]
+        filtered.add_process(proc.location, ev.select(~drop))
+    return filtered
+
+
+def select_ranks(trace: Trace, ranks, name: str | None = None) -> Trace:
+    """Return a trace containing only the given locations."""
+    wanted = set(int(r) for r in ranks)
+    missing = wanted - set(trace.ranks)
+    if missing:
+        raise KeyError(f"ranks not in trace: {sorted(missing)}")
+    sub = Trace(
+        regions=trace.regions,
+        metrics=trace.metrics,
+        name=name or f"{trace.name}|ranks",
+        attributes=dict(trace.attributes),
+    )
+    for proc in trace.processes():
+        if proc.location.id in wanted:
+            sub.add_process(proc.location, proc.events)
+    return sub

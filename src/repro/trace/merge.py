@@ -1,0 +1,100 @@
+"""Merging traces from separate measurement runs.
+
+Trace archives are sometimes written per process group (e.g. one file
+per node) or collected in several measurement runs of the same binary.
+:func:`merge_traces` unifies their definition registries by *name* and
+re-maps event references accordingly, producing one coherent trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .definitions import MetricRegistry, RegionRegistry
+from .events import EventKind, EventList
+from .trace import Trace
+
+__all__ = ["merge_traces"]
+
+
+def _remap_events(
+    events: EventList,
+    region_map: np.ndarray,
+    metric_map: np.ndarray,
+) -> EventList:
+    """Rewrite region/metric references through the given id maps."""
+    ref = events.ref.copy()
+    enter_leave = (events.kind == EventKind.ENTER) | (events.kind == EventKind.LEAVE)
+    metric = events.kind == EventKind.METRIC
+    if region_map.size:
+        ref[enter_leave] = region_map[events.ref[enter_leave]]
+    if metric_map.size:
+        ref[metric] = metric_map[events.ref[metric]]
+    return EventList(
+        events.time,
+        events.kind,
+        ref,
+        events.partner,
+        events.size,
+        events.tag,
+        events.value,
+    )
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Merge traces with pairwise disjoint location ids.
+
+    Definitions are unified by name: regions (or metrics) with the same
+    name in different inputs become one definition; attributes of the
+    first occurrence win.
+
+    Raises
+    ------
+    ValueError
+        If two inputs define the same location id.
+    """
+    if not traces:
+        raise ValueError("nothing to merge")
+
+    regions = RegionRegistry()
+    metrics = MetricRegistry()
+    merged = Trace(regions=regions, metrics=metrics, name=name)
+    for trace in traces:
+        merged.attributes.update(trace.attributes)
+
+    seen_ranks: set[int] = set()
+    for trace in traces:
+        region_map = np.asarray(
+            [
+                regions.register(
+                    r.name,
+                    paradigm=r.paradigm,
+                    role=r.role,
+                    source_file=r.source_file,
+                    line=r.line,
+                )
+                for r in trace.regions
+            ],
+            dtype=np.int32,
+        )
+        metric_map = np.asarray(
+            [
+                metrics.register(
+                    m.name, unit=m.unit, mode=m.mode, description=m.description
+                )
+                for m in trace.metrics
+            ],
+            dtype=np.int32,
+        )
+        for proc in trace.processes():
+            if proc.location.id in seen_ranks:
+                raise ValueError(
+                    f"location id {proc.location.id} appears in multiple traces"
+                )
+            seen_ranks.add(proc.location.id)
+            merged.add_process(
+                proc.location, _remap_events(proc.events, region_map, metric_map)
+            )
+    return merged

@@ -1,0 +1,138 @@
+"""Trace deserialisation (text format) and format dispatch."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO
+
+import numpy as np
+
+from .definitions import (
+    Location,
+    Metric,
+    MetricMode,
+    MetricRegistry,
+    Paradigm,
+    Region,
+    RegionRegistry,
+    RegionRole,
+)
+from .events import EventList
+from .trace import Trace
+from .writer import FORMAT_VERSION
+
+__all__ = ["read_jsonl", "load_jsonl", "read_trace"]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or has the wrong version."""
+
+
+def load_jsonl(fp: IO[str]) -> Trace:
+    """Read a trace from an open text file in JSONL format."""
+    header_line = fp.readline()
+    if not header_line:
+        raise TraceFormatError("empty trace file")
+    header = json.loads(header_line)
+    if header.get("record") != "header":
+        raise TraceFormatError("first record must be the header")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {header.get('version')!r}"
+        )
+
+    regions = RegionRegistry()
+    metrics = MetricRegistry()
+    locations: dict[int, Location] = {}
+    event_records: list[dict] = []
+
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("record")
+        if kind == "region":
+            regions.add(
+                Region(
+                    id=record["id"],
+                    name=record["name"],
+                    paradigm=Paradigm(record["paradigm"]),
+                    role=RegionRole(record["role"]),
+                    source_file=record.get("source_file", ""),
+                    line=record.get("line", 0),
+                )
+            )
+        elif kind == "metric":
+            metrics.add(
+                Metric(
+                    id=record["id"],
+                    name=record["name"],
+                    unit=record.get("unit", "#"),
+                    mode=MetricMode(record.get("mode", 0)),
+                    description=record.get("description", ""),
+                )
+            )
+        elif kind == "location":
+            loc = Location(
+                id=record["id"],
+                name=record["name"],
+                group=record.get("group", "MPI"),
+            )
+            locations[loc.id] = loc
+        elif kind == "events":
+            event_records.append(record)
+        else:
+            raise TraceFormatError(f"unknown record type {kind!r}")
+
+    trace = Trace(
+        regions=regions,
+        metrics=metrics,
+        name=header.get("name", "trace"),
+        attributes=header.get("attributes", {}),
+    )
+    for record in event_records:
+        loc_id = record["location"]
+        location = locations.get(loc_id)
+        if location is None:
+            raise TraceFormatError(f"events for undefined location {loc_id}")
+        events = EventList(
+            np.asarray(record["time"], dtype=np.float64),
+            np.asarray(record["kind"], dtype=np.uint8),
+            np.asarray(record["ref"], dtype=np.int32),
+            np.asarray(record["partner"], dtype=np.int32),
+            np.asarray(record["size"], dtype=np.int64),
+            np.asarray(record["tag"], dtype=np.int32),
+            np.asarray(record["value"], dtype=np.float64),
+        )
+        if len(events) != record.get("n", len(events)):
+            raise TraceFormatError(
+                f"location {loc_id}: event count mismatch"
+            )
+        trace.add_process(location, events)
+    # Locations defined but without an events record get empty streams.
+    for loc_id, location in locations.items():
+        if loc_id not in trace.ranks:
+            trace.add_process(location, EventList.empty())
+    return trace
+
+
+def read_jsonl(path: str | os.PathLike) -> Trace:
+    """Read a trace from ``path`` in JSONL format."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return load_jsonl(fp)
+
+
+def read_trace(path: str | os.PathLike) -> Trace:
+    """Read a trace, dispatching on file extension (.jsonl or .rpt)."""
+    path_str = str(path)
+    if path_str.endswith(".jsonl"):
+        return read_jsonl(path)
+    if path_str.endswith(".rpt"):
+        from .binio import read_binary
+
+        return read_binary(path)
+    raise TraceFormatError(
+        f"cannot infer trace format from extension: {path_str!r}"
+    )

@@ -1,0 +1,94 @@
+"""Trace serialisation (text format).
+
+Two on-disk formats are provided by the package:
+
+* ``.jsonl`` — a line-oriented JSON text format (this module), readable
+  by humans and by any JSON tooling; definition records first, then one
+  record per location carrying the event columns.
+* ``.rpt`` — a compact binary format (:mod:`repro.trace.binio`) using
+  zlib-compressed column arrays, preferred for large traces.
+
+Both formats round-trip exactly through :mod:`repro.trace.reader`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO
+
+from .trace import Trace
+
+__all__ = ["write_jsonl", "dump_jsonl"]
+
+FORMAT_VERSION = 1
+
+
+def _header_record(trace: Trace) -> dict:
+    return {
+        "record": "header",
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "attributes": trace.attributes,
+    }
+
+
+def _definition_records(trace: Trace):
+    for region in trace.regions:
+        yield {
+            "record": "region",
+            "id": region.id,
+            "name": region.name,
+            "paradigm": int(region.paradigm),
+            "role": int(region.role),
+            "source_file": region.source_file,
+            "line": region.line,
+        }
+    for metric in trace.metrics:
+        yield {
+            "record": "metric",
+            "id": metric.id,
+            "name": metric.name,
+            "unit": metric.unit,
+            "mode": int(metric.mode),
+            "description": metric.description,
+        }
+    for proc in trace.processes():
+        yield {
+            "record": "location",
+            "id": proc.location.id,
+            "name": proc.location.name,
+            "group": proc.location.group,
+        }
+
+
+def _event_records(trace: Trace):
+    for proc in trace.processes():
+        ev = proc.events
+        yield {
+            "record": "events",
+            "location": proc.location.id,
+            "n": len(ev),
+            "time": ev.time.tolist(),
+            "kind": ev.kind.tolist(),
+            "ref": ev.ref.tolist(),
+            "partner": ev.partner.tolist(),
+            "size": ev.size.tolist(),
+            "tag": ev.tag.tolist(),
+            "value": ev.value.tolist(),
+        }
+
+
+def dump_jsonl(trace: Trace, fp: IO[str]) -> None:
+    """Write ``trace`` to an open text file in JSONL format."""
+    fp.write(json.dumps(_header_record(trace)) + "\n")
+    for record in _definition_records(trace):
+        fp.write(json.dumps(record) + "\n")
+    for record in _event_records(trace):
+        fp.write(json.dumps(record) + "\n")
+
+
+def write_jsonl(trace: Trace, path: str | os.PathLike) -> None:
+    """Write ``trace`` to ``path`` in JSONL format."""
+    with open(path, "w", encoding="utf-8") as fp:
+        dump_jsonl(trace, fp)

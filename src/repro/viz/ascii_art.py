@@ -1,0 +1,96 @@
+"""Terminal rendering: ANSI heat maps and unicode sparklines.
+
+The CLI prints these so an analyst gets the paper's "follow the red"
+guidance directly in the terminal, before opening any image file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["heat_to_ansi", "sparkline", "matrix_sparklines"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: 256-color ANSI codes approximating the blue→red cold-hot ramp.
+_ANSI_RAMP = (17, 18, 19, 20, 25, 31, 37, 66, 102, 138, 174, 210, 203, 196, 160, 124)
+
+
+def heat_to_ansi(
+    matrix: np.ndarray,
+    max_width: int = 100,
+    max_rows: int = 40,
+    row_labels: list | None = None,
+) -> str:
+    """Render a value matrix as colored terminal blocks.
+
+    NaN cells render as dots.  Large matrices are downsampled by
+    striding (nearest neighbour) to at most ``max_rows x max_width``.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.size == 0:
+        return "(empty)"
+    n_rows, n_cols = m.shape
+    rows = np.unique(np.minimum((np.arange(min(max_rows, n_rows)) * n_rows)
+                                // min(max_rows, n_rows), n_rows - 1))
+    cols = np.unique(np.minimum((np.arange(min(max_width, n_cols)) * n_cols)
+                                // min(max_width, n_cols), n_cols - 1))
+    sub = m[np.ix_(rows, cols)]
+    finite = sub[np.isfinite(sub)]
+    lo = float(finite.min()) if len(finite) else 0.0
+    hi = float(finite.max()) if len(finite) else 1.0
+    span = hi - lo if hi > lo else 1.0
+
+    lines = []
+    for i, row in enumerate(rows):
+        cells = []
+        for value in sub[i]:
+            if not np.isfinite(value):
+                cells.append("·")
+                continue
+            level = int((value - lo) / span * (len(_ANSI_RAMP) - 1))
+            code = _ANSI_RAMP[level]
+            cells.append(f"\x1b[48;5;{code}m \x1b[0m")
+        label = str(row_labels[row]) if row_labels is not None else str(row)
+        lines.append(f"{label:>6} {''.join(cells)}")
+    lines.append(f"{'':6} min={lo:.4g}  max={hi:.4g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Unicode sparkline of a 1D series (NaNs render as spaces)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return ""
+    if len(v) > width:
+        idx = np.minimum((np.arange(width) * len(v)) // width, len(v) - 1)
+        v = v[idx]
+    finite = v[np.isfinite(v)]
+    if len(finite) == 0:
+        return " " * len(v)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    chars = []
+    for value in v:
+        if not np.isfinite(value):
+            chars.append(" ")
+        else:
+            level = int((value - lo) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def matrix_sparklines(
+    matrix: np.ndarray, row_labels: list | None = None, max_rows: int = 20
+) -> str:
+    """One sparkline per matrix row (e.g. SOS over time per rank)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.size == 0:
+        return "(empty)"
+    n = m.shape[0]
+    step = max(1, int(np.ceil(n / max_rows)))
+    lines = []
+    for row in range(0, n, step):
+        label = str(row_labels[row]) if row_labels is not None else str(row)
+        lines.append(f"{label:>6} {sparkline(m[row])}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Communication-matrix heat map (sender x receiver)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .canvas import Canvas
+from .colors import HEAT, Colormap
+from .figure import ChartLayout, draw_title, rank_tick_rows
+from .legend import draw_colorbar
+from .png import write_png
+
+__all__ = ["render_comm_matrix_png"]
+
+
+def render_comm_matrix_png(
+    comm,
+    path: str | os.PathLike | None = None,
+    metric: str = "bytes",
+    cmap: Colormap = HEAT,
+    width: int = 640,
+    title: str | None = None,
+) -> Canvas:
+    """Render a :class:`repro.core.commstats.CommMatrix` heat map.
+
+    ``metric`` selects ``"bytes"``, ``"count"`` or ``"time"`` (mean
+    transfer time per message).
+    """
+    if metric == "bytes":
+        matrix = comm.bytes.astype(np.float64)
+        label = "bytes"
+    elif metric == "count":
+        matrix = comm.counts.astype(np.float64)
+        label = "messages"
+    elif metric == "time":
+        matrix = comm.mean_transfer_time()
+        label = "s/message"
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    matrix = np.where(matrix == 0, np.nan, matrix)
+
+    n = len(comm.ranks)
+    height = width  # square plot area keeps cells square-ish
+    layout = ChartLayout(width=width, height=height, left=70, right=110,
+                         top=34, bottom=46)
+    canvas = Canvas(width, height)
+    draw_title(canvas, layout, title or f"Communication matrix ({label})")
+
+    finite = matrix[np.isfinite(matrix)]
+    vmin = float(finite.min()) if len(finite) else 0.0
+    vmax = float(finite.max()) if len(finite) else 1.0
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    rgb = cmap(matrix, vmin, vmax)
+
+    rows = np.minimum((np.arange(layout.plot_h) * n) // layout.plot_h, n - 1)
+    cols = np.minimum((np.arange(layout.plot_w) * n) // layout.plot_w, n - 1)
+    canvas.blit(layout.plot_x, layout.plot_y, rgb[np.ix_(rows, cols)])
+    canvas.rect(layout.plot_x - 1, layout.plot_y - 1, layout.plot_w + 2,
+                layout.plot_h + 2, (120, 120, 120))
+
+    for row in rank_tick_rows(n, max_labels=12):
+        y = layout.plot_y + int((row + 0.5) * layout.plot_h / n)
+        canvas.text(layout.plot_x - 6, y - 3, str(comm.ranks[row]), anchor="rt")
+        x = layout.plot_x + int((row + 0.5) * layout.plot_w / n)
+        canvas.text(x, layout.plot_y + layout.plot_h + 6,
+                    str(comm.ranks[row]), anchor="ct")
+    canvas.text_rotated(8, layout.plot_y + layout.plot_h // 2, "sender")
+    canvas.text(layout.plot_x + layout.plot_w // 2,
+                layout.plot_y + layout.plot_h + 22, "receiver", anchor="ct")
+    draw_colorbar(canvas, layout, cmap, vmin, vmax, label=label)
+
+    if path is not None:
+        write_png(canvas.pixels, path)
+    return canvas

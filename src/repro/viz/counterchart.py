@@ -1,0 +1,47 @@
+"""Counter heat timelines (the Figure-6c view).
+
+A thin specialisation of the heat renderer: rasterise a counter's
+per-second rate per process over time and color-code it, so the
+analyst can visually match counter anomalies against the SOS heat map.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.metrics import binned_metric_matrix
+from ..trace.trace import Trace
+from .colors import HEAT, Colormap
+from .canvas import Canvas
+from .heatmap import render_heat_png
+
+__all__ = ["render_counter_png"]
+
+
+def render_counter_png(
+    trace: Trace,
+    metric: int | str,
+    path: str | os.PathLike | None = None,
+    bins: int = 512,
+    cmap: Colormap = HEAT,
+    width: int = 1100,
+    title: str | None = None,
+) -> Canvas:
+    """Render one counter as a rate heat map over (process, time)."""
+    matrix, edges = binned_metric_matrix(trace, metric, bins=bins)
+    if isinstance(metric, str):
+        metric_def = trace.metrics[trace.metrics.id_of(metric)]
+    else:
+        metric_def = trace.metrics[int(metric)]
+    if title is None:
+        title = f"{metric_def.name} — {trace.name}"
+    return render_heat_png(
+        matrix,
+        edges,
+        path=path,
+        title=title,
+        cmap=cmap,
+        width=width,
+        ranks=trace.ranks,
+        colorbar_label=f"{metric_def.unit}/s",
+    )

@@ -1,0 +1,84 @@
+"""Legends: vertical colorbars and region color keys."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .canvas import Canvas
+from .colors import Colormap, hex_color
+from .figure import ChartLayout, nice_ticks
+from .svg import SVGCanvas
+
+__all__ = ["draw_colorbar", "draw_region_legend", "svg_colorbar"]
+
+
+def draw_colorbar(
+    canvas: Canvas,
+    layout: ChartLayout,
+    cmap: Colormap,
+    vmin: float,
+    vmax: float,
+    label: str = "",
+    width: int = 14,
+) -> None:
+    """Vertical colorbar in the right margin of a chart."""
+    x = layout.plot_x + layout.plot_w + 18
+    y = layout.plot_y
+    h = layout.plot_h
+    # Gradient strip (hot at the top).
+    ramp = cmap(np.linspace(1.0, 0.0, h))  # (h, 3)
+    strip = np.repeat(ramp[:, None, :], width, axis=1)
+    canvas.blit(x, y, strip)
+    canvas.rect(x, y, width, h, (120, 120, 120))
+    # Tick labels.
+    for tick in nice_ticks(vmin, vmax, target=5):
+        frac = (tick - vmin) / (vmax - vmin) if vmax > vmin else 0.0
+        ty = y + h - 1 - int(round(frac * (h - 1)))
+        canvas.hline(x + width, x + width + 3, ty, (90, 90, 90))
+        canvas.text(x + width + 5, ty - 3, f"{tick:.3g}")
+    if label:
+        canvas.text(x, max(y - 12, 2), label)
+
+
+def svg_colorbar(
+    svg: SVGCanvas,
+    x: float,
+    y: float,
+    height: float,
+    cmap: Colormap,
+    vmin: float,
+    vmax: float,
+    label: str = "",
+    width: float = 14.0,
+    steps: int = 48,
+) -> None:
+    """Vertical colorbar drawn as stacked rects (vector backend)."""
+    step_h = height / steps
+    for i in range(steps):
+        frac = 1.0 - (i + 0.5) / steps
+        color = cmap(np.asarray([frac]))[0]
+        svg.rect(x, y + i * step_h, width, step_h + 0.5, hex_color(tuple(color)))
+    svg.rect(x, y, width, height, "none", stroke="#787878")
+    for tick in nice_ticks(vmin, vmax, target=5):
+        frac = (tick - vmin) / (vmax - vmin) if vmax > vmin else 0.0
+        ty = y + height - frac * height
+        svg.line(x + width, ty, x + width + 3, ty, stroke="#5a5a5a")
+        svg.text(x + width + 5, ty + 3, f"{tick:.3g}", size=9)
+    if label:
+        svg.text(x, y - 6, label, size=10)
+
+
+def draw_region_legend(
+    canvas: Canvas,
+    x: int,
+    y: int,
+    entries: list[tuple[str, tuple[int, int, int]]],
+    swatch: int = 9,
+    spacing: int = 13,
+) -> None:
+    """Color key listing region names (top-N by visible time)."""
+    for i, (name, color) in enumerate(entries):
+        yy = y + i * spacing
+        canvas.fill_rect(x, yy, swatch, swatch, color)
+        canvas.rect(x, yy, swatch, swatch, (110, 110, 110))
+        canvas.text(x + swatch + 4, yy + 1, name[:20])

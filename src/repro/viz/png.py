@@ -1,0 +1,66 @@
+"""Minimal PNG encoder (truecolor, 8-bit, zlib via the stdlib).
+
+matplotlib is deliberately not a dependency — the trace visualizer is
+one of the substrates this reproduction builds itself.  PNG is simple
+enough to emit directly: signature, IHDR, one zlib-compressed IDAT
+with filter type 0 per scanline, IEND.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["encode_png", "write_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    crc = zlib.crc32(tag + payload) & 0xFFFFFFFF
+    return struct.pack(">I", len(payload)) + tag + payload + struct.pack(">I", crc)
+
+
+def encode_png(pixels: np.ndarray, compresslevel: int = 6) -> bytes:
+    """Encode an ``(h, w, 3)`` uint8 RGB array as PNG bytes."""
+    arr = np.asarray(pixels)
+    if arr.ndim != 3 or arr.shape[2] != 3 or arr.dtype != np.uint8:
+        raise ValueError("expected an (h, w, 3) uint8 array")
+    height, width = arr.shape[:2]
+    if height == 0 or width == 0:
+        raise ValueError("image must be non-empty")
+
+    ihdr = struct.pack(
+        ">IIBBBBB",
+        width,
+        height,
+        8,  # bit depth
+        2,  # color type: truecolor
+        0,  # compression
+        0,  # filter method
+        0,  # interlace
+    )
+    # Prepend the per-scanline filter byte (0 = None) in one shot.
+    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = arr.reshape(height, width * 3)
+    idat = zlib.compress(raw.tobytes(), compresslevel)
+
+    return b"".join(
+        (
+            _SIGNATURE,
+            _chunk(b"IHDR", ihdr),
+            _chunk(b"IDAT", idat),
+            _chunk(b"IEND", b""),
+        )
+    )
+
+
+def write_png(pixels: np.ndarray, path: str | os.PathLike, compresslevel: int = 6) -> None:
+    """Write an RGB array to ``path`` as a PNG file."""
+    data = encode_png(pixels, compresslevel)
+    with open(path, "wb") as fp:
+        fp.write(data)

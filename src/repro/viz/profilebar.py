@@ -1,0 +1,63 @@
+"""Flat-profile bar chart: top functions by aggregated time."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..profiles.stats import FunctionStatistics
+from .canvas import Canvas
+from .colors import MPI_RED, _CATEGORY_COLORS
+from .figure import format_seconds
+from .png import write_png
+
+__all__ = ["render_profile_png"]
+
+
+def render_profile_png(
+    stats: FunctionStatistics,
+    path: str | os.PathLike | None = None,
+    k: int = 12,
+    metric: str = "exclusive",
+    width: int = 760,
+    title: str = "Flat profile",
+) -> Canvas:
+    """Horizontal bars of the top-``k`` functions.
+
+    ``metric`` selects ``"exclusive"`` or ``"inclusive"`` aggregated
+    time; exclusive is the default (inclusive-ranked bars are dominated
+    by enclosing functions and say little).
+    """
+    if metric not in ("exclusive", "inclusive"):
+        raise ValueError("metric must be 'exclusive' or 'inclusive'")
+    rows = (
+        stats.top_exclusive(k)
+        if metric == "exclusive"
+        else stats.rows()[:k]
+    )
+    values = np.asarray(
+        [
+            r.exclusive_sum if metric == "exclusive" else r.inclusive_sum
+            for r in rows
+        ]
+    )
+    bar_h, gap, left, right, top, bottom = 14, 7, 200, 90, 34, 14
+    height = top + bottom + len(rows) * (bar_h + gap)
+    canvas = Canvas(width, max(height, 120))
+    canvas.text(12, 8, f"{title} ({metric} time)", scale=2)
+    vmax = float(values.max()) if len(values) else 1.0
+    plot_w = width - left - right
+    for i, (row, value) in enumerate(zip(rows, values)):
+        y = top + i * (bar_h + gap)
+        w = int(round(plot_w * value / vmax)) if vmax > 0 else 0
+        color = MPI_RED if row.name.startswith("MPI_") else _CATEGORY_COLORS[
+            i % len(_CATEGORY_COLORS)
+        ]
+        canvas.text(left - 6, y + 3, row.name[:30], anchor="rt")
+        canvas.fill_rect(left, y, max(w, 1), bar_h, color)
+        canvas.rect(left, y, max(w, 1), bar_h, (110, 110, 110))
+        canvas.text(left + max(w, 1) + 5, y + 3, format_seconds(float(value)))
+    if path is not None:
+        write_png(canvas.pixels, path)
+    return canvas

@@ -1,0 +1,114 @@
+"""Shared fixtures: paper figure traces and scaled-down workload runs.
+
+Expensive simulations (the three case studies at published scale) are
+session-scoped so the whole suite pays for them once; unit tests use
+small hand-built traces instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.paper import figure1_trace, figure2_trace, figure3_trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.definitions import Paradigm, RegionRole
+
+
+@pytest.fixture()
+def fig1():
+    return figure1_trace()
+
+
+@pytest.fixture()
+def fig2():
+    return figure2_trace()
+
+
+@pytest.fixture()
+def fig3():
+    return figure3_trace()
+
+
+@pytest.fixture()
+def tiny_trace():
+    """Two processes, two iterations with MPI waits, one metric."""
+    tb = TraceBuilder(name="tiny")
+    tb.region("main")
+    tb.region("iter")
+    tb.region("calc")
+    tb.region("MPI_Barrier", paradigm=Paradigm.MPI)
+    tb.metric("CYC")
+    for rank, calc in ((0, 3.0), (1, 1.0)):
+        p = tb.process(rank)
+        p.enter(0.0, "main")
+        for it in range(2):
+            t0 = it * 4.0
+            p.enter(t0, "iter")
+            p.call(t0, t0 + calc, "calc")
+            p.metric(t0 + calc, "CYC", (it + 1) * calc * 1e9)
+            p.call(t0 + calc, t0 + 4.0, "MPI_Barrier")
+            p.leave(t0 + 4.0, "iter")
+        p.leave(8.0, "main")
+    return tb.freeze()
+
+
+@pytest.fixture(scope="session")
+def cosmo_trace():
+    """Full-scale COSMO-SPECS run (100 ranks, 60 iterations)."""
+    from repro.sim.workloads import cosmo_specs
+
+    return cosmo_specs.generate(processes=100, iterations=60)
+
+
+@pytest.fixture(scope="session")
+def cosmo_analysis(cosmo_trace):
+    from repro.core import analyze_trace
+
+    return analyze_trace(cosmo_trace)
+
+
+@pytest.fixture(scope="session")
+def fd4_result():
+    """Full-scale COSMO-SPECS+FD4 run (200 ranks)."""
+    from repro.sim.workloads import cosmo_specs_fd4
+
+    return cosmo_specs_fd4.generate_result()
+
+
+@pytest.fixture(scope="session")
+def fd4_analysis(fd4_result):
+    from repro.core import analyze_trace
+
+    return analyze_trace(fd4_result.trace)
+
+
+@pytest.fixture(scope="session")
+def wrf_trace():
+    """Full-scale WRF run (64 ranks, 40 iterations)."""
+    from repro.sim.workloads import wrf
+
+    return wrf.generate(processes=64, iterations=40)
+
+
+@pytest.fixture(scope="session")
+def wrf_analysis(wrf_trace):
+    from repro.core import analyze_trace
+
+    return analyze_trace(wrf_trace)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """Small synthetic run with one planted slow rank and one outlier."""
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+    config = SyntheticConfig(
+        ranks=8,
+        iterations=12,
+        base_compute=0.01,
+        slow_ranks={5: 1.6},
+        outliers={(2, 7): 0.05},
+        seed=3,
+    )
+    return generate(config), config

@@ -1,0 +1,262 @@
+"""Tests for space-filling curves, partitioning and the FD4 balancer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.balance import (
+    DynamicLoadBalancer,
+    curve_order,
+    hilbert_coords,
+    hilbert_index,
+    imbalance_of,
+    morton_coords,
+    morton_index,
+    partition_cost,
+    partition_exact,
+    partition_greedy,
+    partition_uniform,
+    static_decomposition,
+)
+
+
+class TestMorton:
+    def test_known_values(self):
+        assert morton_index(0, 0) == 0
+        assert morton_index(1, 0) == 1
+        assert morton_index(0, 1) == 2
+        assert morton_index(1, 1) == 3
+        assert morton_index(2, 2) == 12
+
+    def test_roundtrip(self):
+        idx = np.arange(1024)
+        x, y = morton_coords(idx, order=5)
+        np.testing.assert_array_equal(morton_index(x, y, order=5), idx)
+
+    def test_bijective_on_grid(self):
+        xs, ys = np.meshgrid(np.arange(32), np.arange(32))
+        idx = morton_index(xs.ravel(), ys.ravel(), order=5)
+        assert len(np.unique(idx)) == 1024
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="exceed"):
+            morton_index(16, 0, order=4)
+        with pytest.raises(ValueError, match="non-negative"):
+            morton_index(-1, 0)
+
+
+class TestHilbert:
+    def test_bijective(self):
+        xs, ys = np.meshgrid(np.arange(16), np.arange(16))
+        idx = hilbert_index(xs.ravel(), ys.ravel(), order=4)
+        assert sorted(idx.tolist()) == list(range(256))
+
+    def test_roundtrip(self):
+        idx = np.arange(256)
+        x, y = hilbert_coords(idx, order=4)
+        np.testing.assert_array_equal(hilbert_index(x, y, order=4), idx)
+
+    def test_adjacency_property(self):
+        """Consecutive Hilbert indices are grid neighbours — the
+        property that makes SFC partitions spatially compact."""
+        x, y = hilbert_coords(np.arange(4096), order=6)
+        manhattan = np.abs(np.diff(x.astype(int))) + np.abs(
+            np.diff(y.astype(int))
+        )
+        assert np.all(manhattan == 1)
+
+    def test_morton_lacks_adjacency(self):
+        x, y = morton_coords(np.arange(256), order=4)
+        manhattan = np.abs(np.diff(x.astype(int))) + np.abs(
+            np.diff(y.astype(int))
+        )
+        assert np.any(manhattan > 1)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, x, y):
+        idx = hilbert_index(np.asarray([x]), np.asarray([y]), order=8)
+        rx, ry = hilbert_coords(idx, order=8)
+        assert (int(rx[0]), int(ry[0])) == (x, y)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError, match="order"):
+            hilbert_index(0, 0, order=0)
+
+
+class TestCurveOrder:
+    @pytest.mark.parametrize("curve", ["hilbert", "morton", "row"])
+    def test_is_permutation(self, curve):
+        order = curve_order(7, 5, curve=curve)
+        assert sorted(order.tolist()) == list(range(35))
+
+    def test_row_order(self):
+        order = curve_order(3, 2, curve="row")
+        assert list(order) == [0, 1, 2, 3, 4, 5]
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            curve_order(4, 4, curve="dragon")
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            curve_order(0, 4)
+
+
+class TestPartitioning:
+    def test_uniform(self):
+        b = partition_uniform(10, 3)
+        assert b[0] == 0 and b[-1] == 10
+        assert len(b) == 4
+
+    def test_exact_on_equal_weights(self):
+        b = partition_exact(np.ones(12), 4)
+        assert list(partition_cost(np.ones(12), b)) == [3, 3, 3, 3]
+
+    def test_exact_beats_or_ties_greedy(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            w = rng.random(rng.integers(5, 200)) + 0.001
+            p = int(rng.integers(2, 12))
+            ce = partition_cost(w, partition_exact(w, p)).max()
+            cg = partition_cost(w, partition_greedy(w, p)).max()
+            assert ce <= cg + 1e-9
+
+    def test_exact_is_optimal_small(self):
+        """Brute-force check on small instances."""
+        from itertools import combinations
+
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            n, p = 8, 3
+            w = rng.random(n) + 0.01
+            best = np.inf
+            for cuts in combinations(range(1, n), p - 1):
+                b = np.asarray((0, *cuts, n))
+                best = min(best, partition_cost(w, b).max())
+            got = partition_cost(w, partition_exact(w, p)).max()
+            assert got == pytest.approx(best, rel=1e-9)
+
+    def test_single_part(self):
+        w = np.asarray([1.0, 2.0, 3.0])
+        b = partition_exact(w, 1)
+        assert list(b) == [0, 3]
+
+    def test_more_parts_than_items(self):
+        b = partition_exact(np.asarray([5.0, 1.0]), 4)
+        costs = partition_cost(np.asarray([5.0, 1.0]), b)
+        assert costs.max() == 5.0
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            partition_exact(np.asarray([-1.0, 2.0]), 2)
+
+    def test_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            partition_greedy(np.ones(4), 0)
+
+    def test_imbalance_of(self):
+        w = np.ones(8)
+        assert imbalance_of(w, partition_exact(w, 4)) == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=10), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_properties(self, weights, parts):
+        w = np.asarray(weights)
+        b = partition_exact(w, parts)
+        assert b[0] == 0 and b[-1] == len(w)
+        assert np.all(np.diff(b) >= 0)
+        costs = partition_cost(w, b)
+        assert costs.sum() == pytest.approx(w.sum())
+        # Optimal bottleneck is never below max weight or mean load.
+        assert costs.max() >= w.max() - 1e-9
+        assert costs.max() >= w.sum() / parts - 1e-9
+
+
+class TestStaticDecomposition:
+    def test_even_grid(self):
+        a = static_decomposition(4, 4, 2, 2).reshape(4, 4)
+        assert a[0, 0] == 0 and a[0, 3] == 1
+        assert a[3, 0] == 2 and a[3, 3] == 3
+
+    def test_all_ranks_used(self):
+        a = static_decomposition(30, 30, 10, 10)
+        assert sorted(set(a.tolist())) == list(range(100))
+
+    def test_uneven_grid(self):
+        a = static_decomposition(7, 5, 3, 2)
+        assert sorted(set(a.tolist())) == list(range(6))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            static_decomposition(2, 2, 4, 4)
+        with pytest.raises(ValueError):
+            static_decomposition(4, 4, 0, 2)
+
+
+class TestDynamicLoadBalancer:
+    def test_first_balance_always_partitions(self):
+        lb = DynamicLoadBalancer(8, 8, 4)
+        result = lb.balance(np.ones(64))
+        assert result.rebalanced
+        assert result.imbalance == 1.0
+        assert sorted(set(result.assignment.tolist())) == [0, 1, 2, 3]
+
+    def test_hysteresis_avoids_churn(self):
+        lb = DynamicLoadBalancer(8, 8, 4, threshold=1.2)
+        lb.balance(np.ones(64))
+        w = np.ones(64)
+        w[0] = 1.5  # small perturbation below threshold
+        result = lb.balance(w)
+        assert not result.rebalanced
+        assert result.migrated_cells == 0
+
+    def test_rebalances_on_big_shift(self):
+        lb = DynamicLoadBalancer(8, 8, 4, threshold=1.05)
+        lb.balance(np.ones(64))
+        w = np.ones(64)
+        w[:16] = 20.0
+        result = lb.balance(w)
+        assert result.rebalanced
+        assert result.migrated_cells > 0
+        assert result.imbalance < 1.6
+
+    def test_partitions_are_contiguous_along_curve(self):
+        lb = DynamicLoadBalancer(8, 8, 4)
+        result = lb.balance(np.ones(64))
+        ranks_in_curve_order = result.assignment[lb.order]
+        changes = np.count_nonzero(np.diff(ranks_in_curve_order))
+        assert changes == 3  # p-1 boundaries
+
+    def test_greedy_method(self):
+        lb = DynamicLoadBalancer(8, 8, 4, method="greedy")
+        assert lb.balance(np.ones(64)).rebalanced
+
+    def test_current_load_requires_assignment(self):
+        lb = DynamicLoadBalancer(4, 4, 2)
+        with pytest.raises(RuntimeError):
+            lb.current_load(np.ones(16))
+
+    def test_weight_length_checked(self):
+        lb = DynamicLoadBalancer(4, 4, 2)
+        with pytest.raises(ValueError, match="expected 16"):
+            lb.balance(np.ones(5))
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            DynamicLoadBalancer(2, 2, 10)
+        with pytest.raises(ValueError):
+            DynamicLoadBalancer(4, 4, 2, method="magic")
+        with pytest.raises(ValueError):
+            DynamicLoadBalancer(4, 4, 2, threshold=0.5)
+
+    def test_balances_skewed_load_well(self):
+        rng = np.random.default_rng(0)
+        lb = DynamicLoadBalancer(16, 16, 8)
+        w = rng.random(256) + 0.05
+        w[:30] *= 40
+        result = lb.balance(w)
+        assert result.imbalance < 1.3

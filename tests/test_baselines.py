@@ -1,0 +1,206 @@
+"""Tests for the four baseline analyses (paper Section II comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    analyze_profile_only,
+    cluster_phases,
+    extract_bursts,
+    kmeans,
+    search_patterns,
+    select_representatives,
+)
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+@pytest.fixture(scope="module")
+def skewed_trace():
+    """12 ranks; rank 7 persistently 1.8x slower."""
+    return generate(
+        SyntheticConfig(ranks=12, iterations=10, slow_ranks={7: 1.8}, seed=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def outlier_trace():
+    """12 ranks; single slow invocation on rank 4, iteration 6."""
+    return generate(
+        SyntheticConfig(ranks=12, iterations=10, outliers={(4, 6): 0.12}, seed=2)
+    )
+
+
+class TestProfileOnly:
+    def test_finds_persistent_skew(self, skewed_trace):
+        result = analyze_profile_only(skewed_trace)
+        assert result.flagged_ranks() == [7]
+
+    def test_reports_top_functions(self, skewed_trace):
+        result = analyze_profile_only(skewed_trace)
+        assert result.top_functions[0][0] == "work"
+
+    def test_structurally_blind_to_time(self, skewed_trace):
+        result = analyze_profile_only(skewed_trace)
+        assert not result.can_localize_time
+        assert not result.can_localize_single_invocations
+
+    def test_single_invocation_outlier_diluted(self, outlier_trace):
+        """The aggregation argument: one 0.12s outlier in a 0.1s/rank
+        run-total is below any materiality bar at rank level... but more
+        importantly, profile-only can never say WHICH invocation."""
+        result = analyze_profile_only(outlier_trace)
+        findings = [f for f in result.findings if f.kind == "rank-imbalance"]
+        # Either nothing flagged, or at most the rank — never the segment.
+        assert all(f.rank == 4 for f in findings)
+        assert all("no time axis" in f.detail for f in findings)
+
+    def test_mpi_share_computed(self, skewed_trace):
+        result = analyze_profile_only(skewed_trace)
+        assert 0.0 <= result.mpi_share <= 1.0
+
+
+class TestPatternSearch:
+    def test_wait_at_collective_found(self, skewed_trace):
+        result = search_patterns(skewed_trace)
+        patterns = {p.pattern for p in result.instances}
+        assert "wait-at-collective" in patterns
+
+    def test_delayer_attribution(self, skewed_trace):
+        result = search_patterns(skewed_trace)
+        assert result.delayers()[0] == 7
+
+    def test_computation_imbalance_names_region(self, skewed_trace):
+        result = search_patterns(skewed_trace)
+        imb = [p for p in result.instances if p.pattern == "computation-imbalance"]
+        assert imb and imb[0].region in ("work", "iteration")
+        assert 7 in imb[0].delaying_ranks
+
+    def test_severity_ranked(self, skewed_trace):
+        result = search_patterns(skewed_trace)
+        severities = [p.severity for p in result.instances]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_total_wait_time_positive(self, skewed_trace):
+        assert search_patterns(skewed_trace).total_wait_time > 0
+
+    def test_blocked_receiver_found(self, skewed_trace):
+        result = search_patterns(skewed_trace)
+        patterns = {p.pattern for p in result.instances}
+        assert "blocked-receiver" in patterns
+
+    def test_top_k_cap(self, skewed_trace):
+        result = search_patterns(skewed_trace, top_k=2)
+        assert len(result.instances) <= 2
+
+    def test_trace_without_collectives(self):
+        trace = generate(
+            SyntheticConfig(ranks=2, iterations=3, collective="none",
+                            use_halo=False)
+        )
+        result = search_patterns(trace)
+        patterns = {p.pattern for p in result.instances}
+        assert "wait-at-collective" not in patterns
+
+
+class TestRepresentatives:
+    def test_fine_threshold_keeps_anomaly_visible(self, skewed_trace):
+        result = select_representatives(skewed_trace, similarity_threshold=0.05)
+        assert result.is_visible(7)
+
+    def test_coarse_threshold_hides_anomaly(self, skewed_trace):
+        """The paper's criticism of [13]: representatives can hide
+        performance problems."""
+        result = select_representatives(skewed_trace, similarity_threshold=5.0)
+        assert len(result.representatives) == 1
+        assert not result.is_visible(7) or result.representatives == [7]
+
+    def test_reduction_metric(self, skewed_trace):
+        result = select_representatives(skewed_trace, similarity_threshold=5.0)
+        assert result.reduction == pytest.approx(1 - 1 / 12)
+
+    def test_assignment_consistency(self, skewed_trace):
+        result = select_representatives(skewed_trace, similarity_threshold=0.05)
+        for rank in skewed_trace.ranks:
+            assert rank in result.cluster_of(rank)
+
+    def test_identical_ranks_single_cluster(self):
+        trace = generate(SyntheticConfig(ranks=6, iterations=5))
+        result = select_representatives(trace, similarity_threshold=0.05)
+        assert len(result.representatives) == 1
+
+    def test_negative_threshold_rejected(self, skewed_trace):
+        with pytest.raises(ValueError):
+            select_representatives(skewed_trace, similarity_threshold=-1)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(5, 0.1, size=(50, 2))
+        pts = np.vstack([a, b])
+        labels, centroids, inertia = kmeans(pts, 2, seed=1)
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((100, 2))
+        l1, c1, i1 = kmeans(pts, 4, seed=7)
+        l2, c2, i2 = kmeans(pts, 4, seed=7)
+        assert np.array_equal(l1, l2)
+        assert i1 == i2
+
+    def test_k_clamped_to_n(self):
+        labels, centroids, _ = kmeans(np.asarray([[1.0], [2.0]]), 5)
+        assert len(centroids) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+
+    def test_identical_points(self):
+        labels, centroids, inertia = kmeans(np.ones((10, 2)), 3, seed=0)
+        assert inertia == 0.0
+
+
+class TestClusterPhases:
+    def test_extract_bursts_counts(self, skewed_trace):
+        bursts = extract_bursts(skewed_trace)
+        # Leaf USER invocations: setup + work per rank per iteration.
+        names = {b.region for b in bursts}
+        assert len(bursts) == 12 * (1 + 10)
+
+    def test_burst_cycle_rate(self, skewed_trace):
+        bursts = extract_bursts(skewed_trace)
+        work = [b for b in bursts if b.duration > 0.005]
+        assert all(b.cycle_rate > 0 for b in work)
+
+    def test_clusters_separate_slow_rank_phases(self, skewed_trace):
+        result = cluster_phases(skewed_trace, k=3, min_duration=0.005)
+        labels_by_rank = {}
+        for burst, label in zip(result.bursts, result.labels):
+            labels_by_rank.setdefault(burst.rank, set()).add(int(label))
+        # Rank 7's long bursts land in a different cluster than rank 0's.
+        assert labels_by_rank[7] != labels_by_rank[0]
+
+    def test_does_not_isolate_single_invocation(self, outlier_trace):
+        """The paper's criticism of [7]: phase clustering classifies
+        phase types; it reports the outlier burst only as a member of
+        some cluster, without rank/time guidance."""
+        result = cluster_phases(outlier_trace, k=3, min_duration=0.005)
+        sizes = result.cluster_sizes()
+        assert sizes.sum() == len(result.bursts)
+
+    def test_outlier_bursts_api(self, outlier_trace):
+        result = cluster_phases(outlier_trace, k=4, min_duration=0.005)
+        outliers = result.outlier_bursts(max_share=0.02)
+        if outliers:  # the tiny cluster, when isolated, is the planted one
+            assert any(b.rank == 4 for b in outliers)
+
+    def test_empty_trace_handled(self):
+        trace = generate(SyntheticConfig(ranks=2, iterations=1))
+        result = cluster_phases(trace, k=2, min_duration=99.0)
+        assert result.bursts == []
+        assert result.cluster_sizes().size == 0

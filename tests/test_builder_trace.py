@@ -1,0 +1,130 @@
+"""Unit tests for TraceBuilder/ProcessBuilder and the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.definitions import Paradigm
+from repro.trace.events import EventKind
+
+
+class TestProcessBuilder:
+    def test_enter_leave_by_name(self):
+        tb = TraceBuilder()
+        tb.region("main")
+        p = tb.process(0)
+        p.enter(0.0, "main")
+        assert p.depth == 1
+        assert p.current_region == 0
+        p.leave(1.0)
+        assert p.depth == 0
+        trace = tb.freeze()
+        assert trace.num_events == 2
+
+    def test_leave_checks_matching_region(self):
+        tb = TraceBuilder()
+        tb.region("a")
+        tb.region("b")
+        p = tb.process(0)
+        p.enter(0.0, "a")
+        with pytest.raises(ValueError, match="does not match"):
+            p.leave(1.0, "b")
+
+    def test_leave_on_empty_stack(self):
+        tb = TraceBuilder()
+        p = tb.process(0)
+        with pytest.raises(ValueError, match="stack is empty"):
+            p.leave(0.0)
+
+    def test_call_rejects_negative_duration(self):
+        tb = TraceBuilder()
+        tb.region("f")
+        p = tb.process(0)
+        with pytest.raises(ValueError, match="negative duration"):
+            p.call(2.0, 1.0, "f")
+
+    def test_unclosed_region_fails_freeze(self):
+        tb = TraceBuilder()
+        tb.region("main")
+        tb.process(0).enter(0.0, "main")
+        with pytest.raises(ValueError, match="unclosed"):
+            tb.freeze()
+
+    def test_unclosed_allowed_when_unchecked(self):
+        tb = TraceBuilder()
+        tb.region("main")
+        tb.process(0).enter(0.0, "main")
+        trace = tb.freeze(check_stacks=False)
+        assert trace.num_events == 1
+
+    def test_metric_by_name_and_id(self):
+        tb = TraceBuilder()
+        mid = tb.metric("CYC")
+        p = tb.process(0)
+        p.metric(0.0, "CYC", 1.0)
+        p.metric(1.0, mid, 2.0)
+        ev = tb.freeze().events_of(0)
+        assert np.all(ev.kind == EventKind.METRIC)
+        assert list(ev.value) == [1.0, 2.0]
+
+    def test_send_recv_events(self):
+        tb = TraceBuilder()
+        p = tb.process(0)
+        p.send(0.0, partner=1, size=10, tag=3)
+        p.recv(1.0, partner=1, size=20, tag=4)
+        ev = tb.freeze().events_of(0)
+        assert ev[0].kind == EventKind.SEND and ev[0].size == 10
+        assert ev[1].kind == EventKind.RECV and ev[1].tag == 4
+
+    def test_process_is_cached(self):
+        tb = TraceBuilder()
+        assert tb.process(0) is tb.process(0)
+        assert tb.num_processes == 1
+
+
+class TestTrace:
+    def _trace(self):
+        tb = TraceBuilder(name="t", attributes={"k": "v"})
+        tb.region("main")
+        tb.region("MPI_Send", paradigm=Paradigm.MPI)
+        for rank in (0, 2):
+            p = tb.process(rank)
+            p.call(0.0 + rank, 1.0 + rank, "main")
+        return tb.freeze()
+
+    def test_ranks_sorted(self):
+        assert self._trace().ranks == [0, 2]
+
+    def test_time_extent(self):
+        trace = self._trace()
+        assert trace.t_min == 0.0
+        assert trace.t_max == 3.0
+        assert trace.duration == 3.0
+
+    def test_num_events(self):
+        assert self._trace().num_events == 4
+
+    def test_duplicate_location_rejected(self):
+        trace = self._trace()
+        with pytest.raises(ValueError, match="duplicate"):
+            trace.add_process(trace.process(0).location, trace.events_of(0))
+
+    def test_mpi_region_ids(self):
+        trace = self._trace()
+        assert list(trace.mpi_region_ids()) == [1]
+
+    def test_summary(self):
+        s = self._trace().summary()
+        assert s["processes"] == 2
+        assert s["regions"] == 2
+
+    def test_iteration(self):
+        trace = self._trace()
+        assert [p.rank for p in trace] == [0, 2]
+        assert len(trace) == 2
+
+    def test_empty_trace_extent(self):
+        from repro.trace.trace import Trace
+
+        t = Trace()
+        assert t.t_min == 0.0 and t.t_max == 0.0

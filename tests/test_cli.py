@@ -1,0 +1,194 @@
+"""Tests for the command-line interface (in-process invocation)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "syn.rpt"
+    code = main(
+        [
+            "simulate",
+            "synthetic",
+            "--processes",
+            "6",
+            "--iterations",
+            "8",
+            "--seed",
+            "5",
+            "-o",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_trace(self, trace_path, capsys):
+        assert trace_path.exists()
+
+    def test_jsonl_output(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert main(["simulate", "synthetic", "--processes", "2",
+                     "--iterations", "2", "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "synthetic", "-o", str(tmp_path / "t.xyz")])
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "mystery", "-o", "/tmp/x.rpt"])
+
+    @pytest.mark.parametrize("workload", ["wrf"])
+    def test_case_study_workload_small(self, workload, tmp_path):
+        out = tmp_path / "w.rpt"
+        assert main(["simulate", workload, "--processes", "4",
+                     "--iterations", "3", "-o", str(out)]) == 0
+
+
+class TestInfoValidateProfile:
+    def test_info(self, trace_path, capsys):
+        assert main(["info", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "processes: 6" in out
+        assert "workload = synthetic" in out
+
+    def test_validate_ok(self, trace_path, capsys):
+        assert main(["validate", str(trace_path)]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_profile_flat(self, trace_path, capsys):
+        assert main(["profile", str(trace_path), "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out
+        assert "USER" in out
+
+    def test_profile_tree(self, trace_path, capsys):
+        assert main(["profile", str(trace_path), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out and "count=" in out
+
+
+class TestAnalyze:
+    def test_basic_report(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Dominant function selection" in out
+
+    def test_ascii_heatmap(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--ascii"]) == 0
+        assert "\x1b[48;5;" in capsys.readouterr().out
+
+    def test_json_export(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "a.json"
+        assert main(["analyze", str(trace_path), "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["processes"] == 6
+
+    def test_views_written(self, trace_path, tmp_path, capsys):
+        views = tmp_path / "views"
+        assert main(
+            ["analyze", str(trace_path), "--views", str(views), "--bins", "32"]
+        ) == 0
+        assert (views / "sos_heatmap.png").exists()
+        assert (views / "timeline.png").exists()
+
+    def test_function_pinning(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--function", "work"]) == 0
+        assert "'work'" in capsys.readouterr().out
+
+    def test_level(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--level", "1"]) == 0
+
+
+class TestRenderConvertBaselines:
+    def test_render(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "r"
+        assert main(["render", str(trace_path), "-o", str(out)]) == 0
+        assert (out / "timeline.png").exists()
+
+    def test_render_with_messages(self, trace_path, tmp_path):
+        out = tmp_path / "rm"
+        assert main(["render", str(trace_path), "-o", str(out),
+                     "--messages"]) == 0
+
+    def test_convert(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "conv.jsonl"
+        assert main(["convert", str(trace_path), "-o", str(out)]) == 0
+        assert main(["validate", str(out)]) == 0
+
+    def test_baselines(self, trace_path, capsys):
+        assert main(["baselines", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "profile-only" in out
+        assert "pattern search" in out
+        assert "representatives" in out
+        assert "phase clustering" in out
+
+
+class TestValidationFailure:
+    def test_invalid_trace_exit_code(self, tmp_path, capsys):
+        from repro.trace import write_jsonl
+        from repro.trace.builder import TraceBuilder
+
+        tb = TraceBuilder()
+        tb.region("main")
+        tb.process(0).enter(0.0, "main")
+        trace = tb.freeze(check_stacks=False)
+        path = tmp_path / "bad.jsonl"
+        write_jsonl(trace, path)
+        assert main(["validate", str(path)]) == 1
+        assert "unclosed" in capsys.readouterr().out
+
+
+class TestCompareAndHtml:
+    def test_compare_command(self, trace_path, tmp_path, capsys):
+        other = tmp_path / "other.rpt"
+        assert main(["simulate", "synthetic", "--processes", "6",
+                     "--iterations", "8", "--seed", "5", "-o", str(other)]) == 0
+        assert main(["compare", str(trace_path), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "aligned" in out and "speedup" in out
+
+    def test_compare_with_pinned_function(self, trace_path, tmp_path, capsys):
+        other = tmp_path / "o2.rpt"
+        main(["simulate", "synthetic", "--processes", "6", "--iterations",
+              "8", "--seed", "7", "-o", str(other)])
+        assert main(["compare", str(trace_path), str(other),
+                     "--function", "work"]) == 0
+
+    def test_html_report(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main(["analyze", str(trace_path), "--html", str(out),
+                     "--bins", "32"]) == 0
+        content = out.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "data:image/png;base64," in content
+
+    def test_simulate_hybrid(self, tmp_path):
+        out = tmp_path / "hy.rpt"
+        assert main(["simulate", "hybrid_openmp", "--processes", "4",
+                     "--iterations", "3", "-o", str(out)]) == 0
+        assert main(["validate", str(out)]) == 0
+
+    def test_monitor_command(self, tmp_path, capsys):
+        from repro.sim.workloads.synthetic import SyntheticConfig, generate
+        from repro.trace import write_binary
+
+        trace = generate(
+            SyntheticConfig(ranks=6, iterations=12,
+                            outliers={(2, 8): 0.06}, seed=5)
+        )
+        path = tmp_path / "mon.rpt"
+        write_binary(trace, path)
+        assert main(["monitor", str(path), "--function", "iteration"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT rank 2 segment 8" in out
+        assert "streamed" in out

@@ -1,0 +1,134 @@
+"""Tests for communication statistics and CSV/JSON exports."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_trace, communication_matrix
+from repro.profiles import (
+    profile_trace,
+    write_analysis_json,
+    write_profile_csv,
+    write_rank_summary_csv,
+    write_segments_csv,
+)
+from repro.sim import ops
+from repro.sim.engine import simulate
+from repro.sim.network import NetworkModel
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+@pytest.fixture(scope="module")
+def star_trace():
+    """Star topology: rank 0 sends to everyone, sizes grow with peer."""
+
+    def program(rank, size):
+        yield ops.Enter("main")
+        if rank == 0:
+            for peer in range(1, size):
+                yield ops.Send(peer, size=1000 * peer, tag=peer)
+        else:
+            yield ops.Recv(0, tag=rank)
+        yield ops.Barrier()
+        yield ops.Leave("main")
+
+    return simulate(5, program, network=NetworkModel(latency=1e-4)).trace
+
+
+class TestCommMatrix:
+    def test_counts_and_bytes(self, star_trace):
+        cm = communication_matrix(star_trace)
+        assert cm.num_messages == 4
+        assert cm.total_bytes == 1000 * (1 + 2 + 3 + 4)
+        assert cm.counts[0, 1] == 1
+        assert cm.bytes[0, 4] == 4000
+        assert cm.counts[1, 0] == 0
+
+    def test_sent_received(self, star_trace):
+        cm = communication_matrix(star_trace)
+        assert cm.sent_by(0) == (4, 10000)
+        assert cm.received_by(3) == (1, 3000)
+        assert cm.sent_by(2) == (0, 0)
+
+    def test_top_pairs(self, star_trace):
+        cm = communication_matrix(star_trace)
+        assert cm.top_pairs(1, by="bytes") == [(0, 4, 4000.0)]
+        assert cm.top_pairs(2, by="count")[0][0] == 0
+        with pytest.raises(ValueError):
+            cm.top_pairs(by="vibes")
+
+    def test_transfer_times_positive(self, star_trace):
+        cm = communication_matrix(star_trace)
+        mean = cm.mean_transfer_time()
+        assert mean[0, 1] > 0
+        assert np.isnan(mean[1, 0])
+
+    def test_unmatched_times_skipped(self, star_trace):
+        cm = communication_matrix(star_trace, matched_times=False)
+        assert cm.total_transfer_time.sum() == 0.0
+
+    def test_imbalance(self, star_trace):
+        cm = communication_matrix(star_trace)
+        assert cm.imbalance() == pytest.approx(5.0)  # only rank 0 sends
+
+    def test_ring_is_balanced(self):
+        trace = generate(SyntheticConfig(ranks=6, iterations=4))
+        cm = communication_matrix(trace, matched_times=False)
+        assert cm.imbalance() == pytest.approx(1.0)
+
+    def test_render(self, star_trace, tmp_path):
+        from repro.viz import render_comm_matrix_png
+
+        cm = communication_matrix(star_trace)
+        for metric in ("bytes", "count", "time"):
+            path = tmp_path / f"cm_{metric}.png"
+            render_comm_matrix_png(cm, path, metric=metric)
+            assert path.exists()
+        with pytest.raises(ValueError):
+            render_comm_matrix_png(cm, metric="vibes")
+
+
+class TestExports:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_trace(
+            generate(SyntheticConfig(ranks=4, iterations=5,
+                                     slow_ranks={2: 1.5}, seed=6))
+        )
+
+    def test_profile_csv(self, analysis, tmp_path):
+        path = tmp_path / "profile.csv"
+        n = write_profile_csv(analysis.profile, path)
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == n
+        names = {r["function"] for r in rows}
+        assert {"main", "iteration", "work"} <= names
+        work = next(r for r in rows if r["function"] == "work")
+        assert int(work["count"]) == 20
+        assert float(work["inclusive_sum"]) > 0
+
+    def test_rank_summary_csv(self, analysis, tmp_path):
+        path = tmp_path / "ranks.csv"
+        assert write_rank_summary_csv(analysis, path) == 4
+        rows = list(csv.DictReader(path.open()))
+        sos = [float(r["total_sos"]) for r in rows]
+        assert np.argmax(sos) == 2  # the slow rank
+
+    def test_segments_csv(self, analysis, tmp_path):
+        path = tmp_path / "segments.csv"
+        n = write_segments_csv(analysis, path)
+        assert n == 4 * 5
+        rows = list(csv.DictReader(path.open()))
+        for row in rows:
+            duration = float(row["duration"])
+            sync = float(row["sync_time"])
+            sos = float(row["sos"])
+            assert sos == pytest.approx(duration - sync)
+
+    def test_analysis_json(self, analysis, tmp_path):
+        path = tmp_path / "analysis.json"
+        write_analysis_json(analysis, path)
+        payload = json.loads(path.read_text())
+        assert payload["dominant"]["name"] == "iteration"

@@ -1,0 +1,143 @@
+"""Tests for run comparison and activity shares."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    activity_shares,
+    analyze_trace,
+    compare_analyses,
+    compare_traces,
+)
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+def make_pair(factor_b=2.0):
+    """Two runs; run b slows rank 3 down by factor_b from iteration 5."""
+    a = generate(SyntheticConfig(ranks=6, iterations=10, seed=1))
+    outliers = {(3, it): 0.01 * (factor_b - 1) for it in range(5, 10)}
+    b = generate(SyntheticConfig(ranks=6, iterations=10, outliers=outliers, seed=1))
+    return a, b
+
+
+class TestCompare:
+    def test_identical_runs(self):
+        a = generate(SyntheticConfig(ranks=4, iterations=6, seed=1))
+        b = generate(SyntheticConfig(ranks=4, iterations=6, seed=1))
+        comparison = compare_traces(a, b)
+        assert comparison.speedup == pytest.approx(1.0)
+        assert comparison.regressions == []
+        assert comparison.improvements == []
+        assert comparison.aligned_segments == 24
+
+    def test_detects_regressions(self):
+        a, b = make_pair()
+        comparison = compare_traces(a, b)
+        assert comparison.speedup < 1.0
+        regressed = {(d.rank, d.segment_index) for d in comparison.regressions}
+        assert regressed == {(3, it) for it in range(5, 10)}
+
+    def test_detects_improvements_in_reverse(self):
+        a, b = make_pair()
+        comparison = compare_traces(b, a)
+        assert comparison.speedup > 1.0
+        improved = {(d.rank, d.segment_index) for d in comparison.improvements}
+        assert improved == {(3, it) for it in range(5, 10)}
+
+    def test_delta_and_ratio(self):
+        a, b = make_pair(factor_b=3.0)
+        comparison = compare_traces(a, b)
+        top = comparison.regressions[0]
+        assert top.delta > 0
+        assert top.ratio == pytest.approx(3.0, rel=0.05)
+        assert "->" in str(top)
+
+    def test_format(self):
+        a, b = make_pair()
+        text = compare_traces(a, b).format()
+        assert "aligned" in text and "regressions" in text
+
+    def test_dominant_mismatch_rejected(self):
+        a, b = make_pair()
+        ana = analyze_trace(a)
+        anb = analyze_trace(b).at_function("work")
+        with pytest.raises(ValueError, match="different functions"):
+            compare_analyses(ana, anb)
+
+    def test_pinned_function(self):
+        a, b = make_pair()
+        comparison = compare_traces(a, b, dominant="work")
+        assert comparison.aligned_segments == 60
+
+    def test_rank_deltas(self):
+        a, b = make_pair()
+        comparison = compare_traces(a, b)
+        deltas = comparison.rank_deltas()
+        assert np.argmax(deltas) == 3
+
+    def test_threshold_filters_noise(self):
+        a, b = make_pair(factor_b=1.1)  # 10% change < 25% threshold
+        comparison = compare_traces(a, b, min_relative_delta=0.25)
+        assert comparison.regressions == []
+        comparison = compare_traces(a, b, min_relative_delta=0.05)
+        assert comparison.regressions
+
+
+class TestActivityShares:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate(
+            SyntheticConfig(ranks=4, iterations=8, slow_ranks={1: 1.5}, seed=3)
+        )
+
+    def test_columns_sum_to_one(self, trace):
+        shares = activity_shares(trace, bins=32)
+        np.testing.assert_allclose(shares.shares.sum(axis=0), 1.0)
+
+    def test_paradigm_labels(self, trace):
+        shares = activity_shares(trace, bins=32)
+        assert "USER" in shares.labels
+        assert "MPI" in shares.labels
+        assert shares.labels[-1] == "idle"
+
+    def test_user_dominates_compute_bound_run(self, trace):
+        shares = activity_shares(trace, bins=32)
+        assert shares.mean_share("USER") > 0.5
+
+    def test_region_grouping(self, trace):
+        shares = activity_shares(trace, bins=32, by="region", top_regions=1)
+        assert "work" in shares.labels
+        assert shares.labels[-1] == "idle"
+        assert "other" in shares.labels  # the non-top regions fold here
+
+    def test_bad_grouping(self, trace):
+        with pytest.raises(ValueError, match="unknown grouping"):
+            activity_shares(trace, by="magic")
+
+    def test_of_and_mean(self, trace):
+        shares = activity_shares(trace, bins=16)
+        series = shares.of("USER")
+        assert series.shape == (16,)
+        assert 0 <= shares.mean_share("USER") <= 1
+
+    def test_window(self, trace):
+        shares = activity_shares(trace, bins=8, t0=0.0, t1=trace.t_max / 2)
+        assert shares.edges[-1] == pytest.approx(trace.t_max / 2)
+
+    def test_mpi_share_grows_in_cosmo(self, cosmo_trace):
+        shares = activity_shares(trace=cosmo_trace, bins=60)
+        mpi = shares.of("MPI")
+        # Average of the last sixth far above the first sixth (Fig 4a).
+        assert mpi[-10:].mean() > mpi[:10].mean() + 0.3
+
+
+class TestAreaChart:
+    def test_render(self, tmp_path):
+        trace = generate(SyntheticConfig(ranks=4, iterations=8, seed=3))
+        shares = activity_shares(trace, bins=64)
+        from repro.viz import render_area_png
+
+        path = tmp_path / "area.png"
+        canvas = render_area_png(shares, path)
+        assert path.exists() and path.stat().st_size > 500
+        assert canvas.width == 1100

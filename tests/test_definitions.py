@@ -1,0 +1,114 @@
+"""Unit tests for definition registries."""
+
+import pytest
+
+from repro.trace.definitions import (
+    Location,
+    Metric,
+    MetricMode,
+    MetricRegistry,
+    Paradigm,
+    Region,
+    RegionRegistry,
+    RegionRole,
+    default_role,
+)
+
+
+class TestDefaultRole:
+    def test_mpi_sync_operations(self):
+        for name in ("MPI_Barrier", "MPI_Wait", "MPI_Waitall", "MPI_Test"):
+            assert default_role(name, Paradigm.MPI) == RegionRole.SYNCHRONIZATION
+
+    def test_mpi_communication(self):
+        for name in ("MPI_Send", "MPI_Reduce", "MPI_Alltoall"):
+            assert default_role(name, Paradigm.MPI) == RegionRole.COMMUNICATION
+
+    def test_openmp_barrier(self):
+        assert (
+            default_role("omp barrier", Paradigm.OPENMP)
+            == RegionRole.SYNCHRONIZATION
+        )
+        assert default_role("omp parallel", Paradigm.OPENMP) == RegionRole.COMPUTE
+
+    def test_io_and_user(self):
+        assert default_role("fwrite", Paradigm.IO) == RegionRole.FILE_IO
+        assert default_role("solve", Paradigm.USER) == RegionRole.COMPUTE
+
+
+class TestRegionRegistry:
+    def test_register_assigns_dense_ids(self):
+        reg = RegionRegistry()
+        assert reg.register("a") == 0
+        assert reg.register("b") == 1
+        assert len(reg) == 2
+        assert reg[1].name == "b"
+
+    def test_register_idempotent_by_name(self):
+        reg = RegionRegistry()
+        first = reg.register("a", paradigm=Paradigm.MPI)
+        second = reg.register("a", paradigm=Paradigm.USER)
+        assert first == second
+        assert reg[first].paradigm == Paradigm.MPI  # first writer wins
+
+    def test_id_of_and_get(self):
+        reg = RegionRegistry()
+        reg.register("main")
+        assert reg.id_of("main") == 0
+        assert reg.get("main").name == "main"
+        assert reg.get("missing") is None
+        with pytest.raises(KeyError):
+            reg.id_of("missing")
+
+    def test_contains_and_names(self):
+        reg = RegionRegistry()
+        reg.register("x")
+        assert "x" in reg and "y" not in reg
+        assert reg.names() == ["x"]
+
+    def test_add_requires_sequential_ids(self):
+        reg = RegionRegistry()
+        with pytest.raises(ValueError, match="out of order"):
+            reg.add(Region(id=5, name="z"))
+
+    def test_add_rejects_duplicate_names(self):
+        reg = RegionRegistry()
+        reg.add(Region(id=0, name="z"))
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.add(Region(id=1, name="z"))
+
+    def test_iteration_order(self):
+        reg = RegionRegistry()
+        for name in "abc":
+            reg.register(name)
+        assert [r.name for r in reg] == ["a", "b", "c"]
+
+
+class TestMetricRegistry:
+    def test_register_and_lookup(self):
+        reg = MetricRegistry()
+        mid = reg.register("PAPI_TOT_CYC", unit="cycles", mode=MetricMode.ACCUMULATED)
+        assert reg[mid].unit == "cycles"
+        assert reg.id_of("PAPI_TOT_CYC") == mid
+        assert reg.register("PAPI_TOT_CYC") == mid
+
+    def test_add_out_of_order(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError, match="out of order"):
+            reg.add(Metric(id=3, name="m"))
+
+    def test_add_duplicate_name(self):
+        reg = MetricRegistry()
+        reg.add(Metric(id=0, name="m"))
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.add(Metric(id=1, name="m"))
+
+    def test_metric_default_mode(self):
+        m = Metric(id=0, name="m")
+        assert m.mode == MetricMode.ABSOLUTE
+
+
+class TestLocation:
+    def test_fields(self):
+        loc = Location(id=3, name="Rank 3", group="MPI")
+        assert loc.id == 3 and loc.group == "MPI"

@@ -1,0 +1,171 @@
+"""Unit tests for the event stream containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.events import (
+    Event,
+    EventKind,
+    EventList,
+    EventListBuilder,
+    NO_PARTNER,
+    NO_REF,
+)
+
+
+def make_list(n=5):
+    b = EventListBuilder()
+    for i in range(n):
+        b.enter(float(i), region=i % 3)
+    return b.freeze()
+
+
+class TestEventListBuilder:
+    def test_empty_freeze(self):
+        ev = EventListBuilder().freeze()
+        assert len(ev) == 0
+        assert ev.duration == 0.0
+
+    def test_append_and_freeze_roundtrip(self):
+        b = EventListBuilder()
+        b.enter(0.0, region=1)
+        b.send(0.5, partner=2, size=100, tag=7)
+        b.recv(1.0, partner=3, size=50, tag=8)
+        b.metric(1.5, metric=0, value=42.0)
+        b.leave(2.0, region=1)
+        ev = b.freeze()
+        assert len(ev) == 5
+        assert ev[0] == Event(0.0, EventKind.ENTER, ref=1)
+        assert ev[1].partner == 2 and ev[1].size == 100 and ev[1].tag == 7
+        assert ev[3].value == 42.0
+        assert ev[4].kind == EventKind.LEAVE
+
+    def test_rejects_non_monotonic(self):
+        b = EventListBuilder()
+        b.enter(1.0, region=0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            b.enter(0.5, region=0)
+
+    def test_equal_timestamps_allowed(self):
+        b = EventListBuilder()
+        b.enter(1.0, region=0)
+        b.leave(1.0, region=0)
+        assert len(b.freeze()) == 2
+
+    def test_last_time(self):
+        b = EventListBuilder()
+        assert b.last_time is None
+        b.enter(2.5, region=0)
+        assert b.last_time == 2.5
+
+
+class TestEventList:
+    def test_construction_checks_lengths(self):
+        with pytest.raises(ValueError, match="length"):
+            EventList(
+                np.zeros(2),
+                np.zeros(3, dtype=np.uint8),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(2),
+            )
+
+    def test_construction_checks_time_order(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            EventList(
+                np.asarray([1.0, 0.0]),
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(2),
+            )
+
+    def test_from_events_checks_order(self):
+        with pytest.raises(ValueError, match="non-monotonic"):
+            EventList.from_events(
+                [Event(1.0, EventKind.ENTER, 0), Event(0.0, EventKind.LEAVE, 0)]
+            )
+
+    def test_columns_are_readonly(self):
+        ev = make_list()
+        with pytest.raises(ValueError):
+            ev.time[0] = 99.0
+
+    def test_iteration_yields_events(self):
+        ev = make_list(4)
+        events = list(ev)
+        assert len(events) == 4
+        assert all(isinstance(e, Event) for e in events)
+        assert [e.time for e in events] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_slicing_returns_eventlist(self):
+        ev = make_list(6)
+        sub = ev[2:5]
+        assert isinstance(sub, EventList)
+        assert len(sub) == 3
+        assert sub.time[0] == 2.0
+
+    def test_equality(self):
+        assert make_list(4) == make_list(4)
+        assert make_list(4) != make_list(5)
+        assert make_list(1).__eq__(42) is NotImplemented
+
+    def test_select_and_of_kind(self):
+        b = EventListBuilder()
+        b.enter(0.0, 0)
+        b.metric(0.5, 0, 1.0)
+        b.leave(1.0, 0)
+        ev = b.freeze()
+        metrics = ev.of_kind(EventKind.METRIC)
+        assert len(metrics) == 1
+        assert metrics[0].value == 1.0
+
+    def test_time_window(self):
+        ev = make_list(10)
+        win = ev.time_window(2.0, 5.0)
+        assert list(win.time) == [2.0, 3.0, 4.0]
+
+    def test_time_window_empty(self):
+        ev = make_list(3)
+        assert len(ev.time_window(10.0, 20.0)) == 0
+
+    def test_duration(self):
+        assert make_list(5).duration == 4.0
+        assert EventList.empty().duration == 0.0
+
+    def test_defaults_sentinels(self):
+        e = Event(0.0, EventKind.ENTER)
+        assert e.ref == NO_REF and e.partner == NO_PARTNER
+
+    def test_is_enter_leave(self):
+        assert Event(0.0, EventKind.ENTER).is_enter()
+        assert Event(0.0, EventKind.LEAVE).is_leave()
+        assert not Event(0.0, EventKind.SEND).is_enter()
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=50,
+    )
+)
+def test_builder_accepts_any_sorted_times(times):
+    times = sorted(times)
+    b = EventListBuilder()
+    for t in times:
+        b.enter(t, region=0)
+    ev = b.freeze()
+    assert len(ev) == len(times)
+    assert np.all(np.diff(ev.time) >= 0)
+
+
+@given(st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40))
+def test_slice_then_len_consistent(n, cut):
+    ev = make_list(n)
+    assert len(ev[:cut]) == min(cut, n)

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are executable documentation; breaking one silently would
+defeat their purpose.  They run as subprocesses so import-time and
+__main__ behaviour is exercised exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "hot ranks"),
+        ("custom_workload.py", "trend: increasing"),
+        ("streaming_monitor.py", "post-mortem analysis agrees"),
+        ("wrf_counters.py", "flagged ranks: [39]"),
+    ],
+)
+def test_fast_examples(script, expected):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("cosmo_specs_case_study.py", "hottest:   54"),
+        ("fd4_interruption.py", "rank 20"),
+    ],
+)
+def test_case_study_examples(script, expected):
+    result = run_example(script, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

@@ -1,0 +1,116 @@
+"""Tests for the segment drill-down (explain_segment)."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_trace, explain_segment
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+@pytest.fixture(scope="module")
+def outlier_analysis():
+    trace = generate(
+        SyntheticConfig(ranks=6, iterations=8, outliers={(2, 5): 0.05}, seed=5)
+    )
+    return analyze_trace(trace)
+
+
+class TestExplainSegment:
+    def test_identifies_culprit_region(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 2, 5)
+        culprit = exp.dominant_excess()
+        assert culprit is not None
+        assert culprit.name == "work"
+        assert culprit.excess == pytest.approx(0.05, rel=0.05)
+
+    def test_breakdown_sums_into_duration(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 2, 5)
+        total_exclusive = sum(r.exclusive for r in exp.regions)
+        # Exclusive times inside the segment tile its duration (the
+        # dominant region's own exclusive time is included as 0+).
+        assert total_exclusive == pytest.approx(exp.duration, rel=1e-6)
+
+    def test_sos_and_sync_consistent(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 2, 5)
+        assert exp.sos + exp.sync_time == pytest.approx(exp.duration)
+
+    def test_normal_segment_has_no_excess(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 0, 2)
+        culprit = exp.dominant_excess()
+        assert culprit is None or culprit.excess < 0.001
+
+    def test_typical_values_from_peers(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 2, 5)
+        work = next(r for r in exp.regions if r.name == "work")
+        assert work.typical_elsewhere == pytest.approx(0.01, rel=0.05)
+
+    def test_counter_rates_present(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 2, 5)
+        assert "PAPI_TOT_CYC" in exp.counter_rates
+        assert exp.counter_rates["PAPI_TOT_CYC"] > 0
+        assert "PAPI_TOT_CYC" in exp.typical_counter_rates
+
+    def test_counter_rate_drop_on_interruption(self, outlier_analysis):
+        """The outlier is an interruption: wall time without cycles.
+
+        At the coarse 'iteration' level peers wait inside MPI for the
+        slow rank, so their cycle rates drop identically — the
+        discrimination only appears at the finer 'work' segmentation,
+        where peers contain no waiting (the Figure-5c workflow).
+        """
+        fine = outlier_analysis.at_function("work")
+        exp = explain_segment(fine, 2, 5)
+        rate = exp.counter_rates["PAPI_TOT_CYC"]
+        typical = exp.typical_counter_rates["PAPI_TOT_CYC"]
+        assert rate < 0.5 * typical
+
+    def test_format(self, outlier_analysis):
+        text = explain_segment(outlier_analysis, 2, 5).format()
+        assert "segment 5 on rank 2" in text
+        assert "work" in text
+        assert "focus there" in text
+
+    def test_index_out_of_range(self, outlier_analysis):
+        with pytest.raises(IndexError):
+            explain_segment(outlier_analysis, 2, 99)
+
+    def test_share_fractions(self, outlier_analysis):
+        exp = explain_segment(outlier_analysis, 2, 5)
+        for region in exp.regions:
+            assert 0.0 <= region.share <= 1.0 + 1e-9
+
+
+class TestExplainCli:
+    def test_cli_defaults_to_hottest(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace import write_binary
+
+        trace = generate(
+            SyntheticConfig(ranks=6, iterations=8, outliers={(2, 5): 0.05},
+                            seed=5)
+        )
+        path = tmp_path / "t.rpt"
+        write_binary(trace, path)
+        assert main(["explain", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "segment 5 on rank 2" in out
+
+    def test_cli_explicit_target(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace import write_binary
+
+        trace = generate(SyntheticConfig(ranks=4, iterations=6, seed=1))
+        path = tmp_path / "t.rpt"
+        write_binary(trace, path)
+        assert main(["explain", str(path), "--rank", "1",
+                     "--segment", "2"]) == 0
+        assert "segment 2 on rank 1" in capsys.readouterr().out
+
+    def test_cli_no_findings_without_target(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace import write_binary
+
+        trace = generate(SyntheticConfig(ranks=4, iterations=6, seed=1))
+        path = tmp_path / "t.rpt"
+        write_binary(trace, path)
+        assert main(["explain", str(path)]) == 1

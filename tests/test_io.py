@@ -1,0 +1,144 @@
+"""Round-trip and error tests for trace serialisation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    EventList,
+    Location,
+    read_binary,
+    read_jsonl,
+    read_trace,
+    write_binary,
+    write_jsonl,
+)
+from repro.trace.binio import BinaryFormatError
+from repro.trace.reader import TraceFormatError, load_jsonl
+from repro.trace.writer import dump_jsonl
+
+
+def traces_equal(a, b) -> bool:
+    if a.name != b.name or a.attributes != b.attributes:
+        return False
+    if a.ranks != b.ranks:
+        return False
+    if [r.name for r in a.regions] != [r.name for r in b.regions]:
+        return False
+    if [(m.name, m.unit, m.mode) for m in a.metrics] != [
+        (m.name, m.unit, m.mode) for m in b.metrics
+    ]:
+        return False
+    return all(a.events_of(r) == b.events_of(r) for r in a.ranks)
+
+
+class TestJsonlRoundtrip:
+    def test_figure_trace(self, fig3, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(fig3, path)
+        assert traces_equal(fig3, read_jsonl(path))
+
+    def test_trace_with_metrics_and_messages(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tiny_trace, path)
+        back = read_jsonl(path)
+        assert traces_equal(tiny_trace, back)
+        assert back.metrics.id_of("CYC") == 0
+
+    def test_stream_roundtrip(self, fig1):
+        buf = io.StringIO()
+        dump_jsonl(fig1, buf)
+        buf.seek(0)
+        assert traces_equal(fig1, load_jsonl(buf))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_jsonl(io.StringIO(""))
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            load_jsonl(io.StringIO('{"record": "region"}\n'))
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(TraceFormatError, match="version"):
+            load_jsonl(io.StringIO('{"record": "header", "version": 99}\n'))
+
+    def test_unknown_record_rejected(self, fig1):
+        buf = io.StringIO()
+        dump_jsonl(fig1, buf)
+        content = buf.getvalue() + '{"record": "mystery"}\n'
+        with pytest.raises(TraceFormatError, match="unknown record"):
+            load_jsonl(io.StringIO(content))
+
+    def test_events_for_undefined_location(self):
+        content = (
+            '{"record": "header", "version": 1, "name": "x", "attributes": {}}\n'
+            '{"record": "events", "location": 7, "n": 0, "time": [], "kind": [],'
+            ' "ref": [], "partner": [], "size": [], "tag": [], "value": []}\n'
+        )
+        with pytest.raises(TraceFormatError, match="undefined location"):
+            load_jsonl(io.StringIO(content))
+
+    def test_location_without_events_gets_empty_stream(self, tmp_path):
+        content = (
+            '{"record": "header", "version": 1, "name": "x", "attributes": {}}\n'
+            '{"record": "location", "id": 0, "name": "P0", "group": "MPI"}\n'
+        )
+        path = tmp_path / "t.jsonl"
+        path.write_text(content)
+        trace = read_jsonl(path)
+        assert trace.ranks == [0]
+        assert len(trace.events_of(0)) == 0
+
+
+class TestBinaryRoundtrip:
+    def test_figure_trace(self, fig3, tmp_path):
+        path = tmp_path / "t.rpt"
+        write_binary(fig3, path)
+        assert traces_equal(fig3, read_binary(path))
+
+    def test_metrics_and_attributes(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.rpt"
+        write_binary(tiny_trace, path, compresslevel=1)
+        assert traces_equal(tiny_trace, read_binary(path))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rpt"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(BinaryFormatError, match="magic"):
+            read_binary(path)
+
+    def test_truncation_detected(self, fig2, tmp_path):
+        path = tmp_path / "t.rpt"
+        write_binary(fig2, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])
+        with pytest.raises(Exception):
+            read_binary(path)
+
+    def test_binary_smaller_than_jsonl_for_large_traces(self, tmp_path):
+        from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+        trace = generate(SyntheticConfig(ranks=8, iterations=30))
+        jpath = tmp_path / "t.jsonl"
+        bpath = tmp_path / "t.rpt"
+        write_jsonl(trace, jpath)
+        write_binary(trace, bpath)
+        assert bpath.stat().st_size < jpath.stat().st_size
+
+
+class TestReadTraceDispatch:
+    def test_jsonl_extension(self, fig1, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(fig1, path)
+        assert traces_equal(fig1, read_trace(path))
+
+    def test_rpt_extension(self, fig1, tmp_path):
+        path = tmp_path / "t.rpt"
+        write_binary(fig1, path)
+        assert traces_equal(fig1, read_trace(path))
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="extension"):
+            read_trace(tmp_path / "t.xyz")

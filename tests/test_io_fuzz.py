@@ -1,0 +1,127 @@
+"""Fuzz/robustness tests for the trace readers.
+
+A reader fed corrupted bytes must raise a controlled exception (our
+format errors, zlib/JSON/value errors), never crash the interpreter,
+hang, or silently return garbage that later explodes in analysis.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.paper import figure3_trace
+from repro.trace import read_binary, read_jsonl, write_binary, write_jsonl
+from repro.trace.binio import BinaryFormatError
+from repro.trace.reader import TraceFormatError
+
+ACCEPTABLE = (
+    TraceFormatError,
+    BinaryFormatError,
+    ValueError,
+    KeyError,
+    TypeError,
+    EOFError,
+    IndexError,
+    zlib.error,
+    json.JSONDecodeError,
+    UnicodeDecodeError,
+    struct_error := __import__("struct").error,
+    OverflowError,
+    MemoryError,
+)
+
+
+@pytest.fixture(scope="module")
+def binary_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "t.rpt"
+    write_binary(figure3_trace(), path)
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def jsonl_text(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "t.jsonl"
+    write_jsonl(figure3_trace(), path)
+    return path.read_text()
+
+
+class TestBinaryFuzz:
+    @given(st.integers(min_value=0, max_value=4095), st.integers(0, 255))
+    @settings(max_examples=120, deadline=None)
+    def test_single_byte_flip(self, binary_bytes, tmp_path_factory, pos, value):
+        data = bytearray(binary_bytes)
+        pos = pos % len(data)
+        if data[pos] == value:
+            value = (value + 1) % 256
+        data[pos] = value
+        path = tmp_path_factory.mktemp("flip") / "c.rpt"
+        path.write_bytes(bytes(data))
+        try:
+            trace = read_binary(path)
+        except ACCEPTABLE:
+            return
+        # If it still parses, the result must be structurally sound or
+        # the validator must catch it; no crash either way.
+        from repro.trace import validate_trace
+
+        validate_trace(trace)
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation(self, binary_bytes, tmp_path_factory, cut):
+        path = tmp_path_factory.mktemp("trunc") / "c.rpt"
+        path.write_bytes(binary_bytes[: max(len(binary_bytes) - cut, 0)])
+        with pytest.raises(ACCEPTABLE):
+            read_binary(path)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_random_garbage(self, tmp_path_factory, blob):
+        path = tmp_path_factory.mktemp("junk") / "c.rpt"
+        path.write_bytes(blob)
+        with pytest.raises(ACCEPTABLE):
+            read_binary(path)
+
+
+class TestJsonlFuzz:
+    @given(st.integers(min_value=0, max_value=10_000), st.characters())
+    @settings(max_examples=80, deadline=None)
+    def test_single_char_substitution(self, jsonl_text, tmp_path_factory,
+                                      pos, char):
+        text = list(jsonl_text)
+        pos = pos % len(text)
+        text[pos] = char
+        path = tmp_path_factory.mktemp("sub") / "c.jsonl"
+        path.write_text("".join(text))
+        try:
+            trace = read_jsonl(path)
+        except ACCEPTABLE:
+            return
+        from repro.trace import validate_trace
+
+        validate_trace(trace)
+
+    @given(st.lists(st.text(max_size=40), max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_lines(self, tmp_path_factory, lines):
+        path = tmp_path_factory.mktemp("lines") / "c.jsonl"
+        path.write_text("\n".join(lines))
+        with pytest.raises(ACCEPTABLE):
+            read_jsonl(path)
+
+    def test_dropped_lines_detected_or_benign(self, jsonl_text, tmp_path):
+        lines = jsonl_text.splitlines()
+        for drop in range(1, min(len(lines), 6)):
+            subset = lines[:drop] + lines[drop + 1 :]
+            path = tmp_path / f"drop{drop}.jsonl"
+            path.write_text("\n".join(subset))
+            try:
+                trace = read_jsonl(path)
+            except ACCEPTABLE:
+                continue
+            from repro.trace import validate_trace
+
+            validate_trace(trace)

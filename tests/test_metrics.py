@@ -1,0 +1,150 @@
+"""Tests for counter analysis (metric series, deltas, binning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    binned_metric_matrix,
+    metric_series,
+    metric_sos_correlation,
+    per_rank_metric_total,
+    segment_metric_delta,
+)
+from repro.core.segments import segment_trace
+from repro.profiles import replay_trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.definitions import MetricMode
+
+
+@pytest.fixture()
+def counter_trace():
+    """Two ranks, accumulated counter sampled at varying times."""
+    tb = TraceBuilder(name="counters")
+    tb.region("iter")
+    tb.metric("CYC", unit="cycles", mode=MetricMode.ACCUMULATED)
+    tb.metric("GAUGE", unit="K", mode=MetricMode.ABSOLUTE)
+    p0 = tb.process(0)
+    p0.enter(0.0, "iter")
+    p0.metric(1.0, "CYC", 100.0)
+    p0.metric(2.0, "CYC", 300.0)
+    p0.leave(2.0)
+    p0.enter(2.0, "iter")
+    p0.metric(3.0, "GAUGE", 7.0)
+    p0.metric(4.0, "CYC", 400.0)
+    p0.leave(4.0)
+    p1 = tb.process(1)
+    p1.enter(0.0, "iter")
+    p1.metric(2.0, "CYC", 50.0)
+    p1.leave(2.0)
+    p1.enter(2.0, "iter")
+    p1.metric(4.0, "CYC", 60.0)
+    p1.leave(4.0)
+    return tb.freeze()
+
+
+class TestMetricSeries:
+    def test_extraction(self, counter_trace):
+        series = metric_series(counter_trace, "CYC")
+        assert list(series[0].values) == [100.0, 300.0, 400.0]
+        assert list(series[1].times) == [2.0, 4.0]
+
+    def test_value_at(self, counter_trace):
+        s = metric_series(counter_trace, "CYC")[0]
+        assert s.value_at(0.5) == 0.0  # before first sample
+        assert s.value_at(1.0) == 100.0
+        assert s.value_at(3.0) == 300.0
+        assert s.value_at(99.0) == 400.0
+
+    def test_delta(self, counter_trace):
+        s = metric_series(counter_trace, "CYC")[0]
+        assert s.delta(1.0, 4.0) == 300.0
+
+    def test_by_id_or_name(self, counter_trace):
+        by_name = metric_series(counter_trace, "CYC")
+        by_id = metric_series(counter_trace, counter_trace.metrics.id_of("CYC"))
+        assert np.array_equal(by_name[0].values, by_id[0].values)
+
+    def test_missing_metric_raises(self, counter_trace):
+        with pytest.raises(KeyError):
+            metric_series(counter_trace, "NOPE")
+
+
+class TestPerRankTotal:
+    def test_totals(self, counter_trace):
+        totals = per_rank_metric_total(counter_trace, "CYC")
+        assert list(totals) == [400.0, 60.0]
+
+    def test_rank_without_samples(self, counter_trace):
+        totals = per_rank_metric_total(counter_trace, "GAUGE")
+        assert totals[1] == 0.0
+
+
+class TestSegmentMetricDelta:
+    def test_deltas_per_segment(self, counter_trace):
+        tables = replay_trace(counter_trace)
+        segmentation = segment_trace(tables, counter_trace.regions.id_of("iter"))
+        deltas = segment_metric_delta(counter_trace, "CYC", segmentation)
+        assert deltas.shape == (2, 2)
+        assert deltas[0, 0] == 300.0  # samples at t=1 (100) and t=2 (300)
+        assert deltas[0, 1] == 100.0  # 300 -> 400
+        assert deltas[1, 0] == 50.0
+        assert deltas[1, 1] == 10.0
+
+    def test_interruption_signature(self):
+        """Low counter rate in the interrupted segment (Fig 5c logic)."""
+        tb = TraceBuilder()
+        tb.region("step")
+        tb.metric("CYC", mode=MetricMode.ACCUMULATED)
+        p = tb.process(0)
+        value = 0.0
+        t = 0.0
+        for i in range(5):
+            duration = 1.0 if i != 2 else 3.0  # interrupted step is long...
+            p.enter(t, "step")
+            value += 1e9  # ...but all steps do identical work
+            p.metric(t + duration, "CYC", value)
+            p.leave(t + duration, "step")
+            t += duration
+        trace = tb.freeze()
+        tables = replay_trace(trace)
+        segmentation = segment_trace(tables, 0)
+        deltas = segment_metric_delta(trace, "CYC", segmentation)
+        durations = segmentation[0].duration
+        rates = deltas[0] / durations
+        assert np.argmin(rates) == 2
+        assert rates[2] == pytest.approx(rates[0] / 3)
+
+
+class TestBinnedMetricMatrix:
+    def test_rate_mode_for_accumulated(self, counter_trace):
+        matrix, edges = binned_metric_matrix(counter_trace, "CYC", bins=4)
+        assert matrix.shape == (2, 4)
+        # Total integrates back to the final counter value.
+        widths = np.diff(edges)
+        np.testing.assert_allclose(
+            (matrix * widths).sum(axis=1), [400.0, 60.0]
+        )
+
+    def test_absolute_mode_uses_last_sample(self, counter_trace):
+        matrix, _ = binned_metric_matrix(counter_trace, "GAUGE", bins=4)
+        assert np.isnan(matrix[0, 0])  # before the only sample
+        assert matrix[0, -1] == 7.0
+
+    def test_explicit_rate_override(self, counter_trace):
+        matrix, _ = binned_metric_matrix(
+            counter_trace, "GAUGE", bins=4, as_rate=True
+        )
+        assert np.all(np.isfinite(matrix[0]))
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        a = np.asarray([1.0, 2.0, 3.0, 10.0])
+        assert metric_sos_correlation(a, 5 * a) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert metric_sos_correlation(np.ones(4), np.arange(4.0)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            metric_sos_correlation(np.ones(3), np.ones(4))

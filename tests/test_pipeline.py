@@ -1,0 +1,113 @@
+"""End-to-end tests of the analysis pipeline on synthetic workloads."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisConfig, analyze_trace
+from repro.trace.builder import TraceBuilder
+
+
+class TestAnalyzeTrace:
+    def test_finds_planted_slow_rank(self, small_synthetic):
+        trace, config = small_synthetic
+        analysis = analyze_trace(trace)
+        assert analysis.dominant_name == "iteration"
+        assert 5 in analysis.hot_ranks()
+
+    def test_finds_planted_outlier_segment(self, small_synthetic):
+        trace, config = small_synthetic
+        analysis = analyze_trace(trace)
+        assert (2, 7) in analysis.hot_segments()
+
+    def test_plain_durations_hide_the_slow_rank(self, small_synthetic):
+        """The motivating argument for SOS (paper Section V)."""
+        trace, _config = small_synthetic
+        analysis = analyze_trace(trace)
+        durations = analysis.sos.duration_matrix()
+        sos = analysis.sos.matrix()
+        # Collective sync makes plain durations nearly uniform across
+        # ranks while SOS separates the slow rank clearly.
+        dur_spread = np.nanmax(durations, axis=0) - np.nanmin(durations, axis=0)
+        sos_spread = np.nanmax(sos, axis=0) - np.nanmin(sos, axis=0)
+        assert np.median(sos_spread) > 5 * np.median(dur_spread)
+
+    def test_refinement(self, small_synthetic):
+        trace, _config = small_synthetic
+        analysis = analyze_trace(trace)
+        finer = analysis.refined()
+        assert finer.dominant_name != analysis.dominant_name
+        assert finer.segmentation.total_segments >= analysis.segmentation.total_segments
+
+    def test_at_function(self, small_synthetic):
+        trace, _config = small_synthetic
+        analysis = analyze_trace(trace).at_function("work")
+        assert analysis.dominant_name == "work"
+
+    def test_validation_failure_raises(self):
+        tb = TraceBuilder()
+        tb.region("main")
+        tb.process(0).enter(0.0, "main")
+        trace = tb.freeze(check_stacks=False)
+        with pytest.raises(ValueError, match="invalid trace"):
+            analyze_trace(trace)
+
+    def test_validation_can_be_disabled(self):
+        # An unclosed region still replays if we skip validation... but
+        # replay itself raises on unbalanced streams, which is the point:
+        # validation gives the better message.
+        tb = TraceBuilder()
+        tb.region("main")
+        tb.process(0).enter(0.0, "main")
+        trace = tb.freeze(check_stacks=False)
+        with pytest.raises(ValueError):
+            analyze_trace(trace, AnalysisConfig(validate=False))
+
+    def test_heat_matrix_shape(self, small_synthetic):
+        trace, _config = small_synthetic
+        analysis = analyze_trace(trace)
+        matrix, edges = analysis.heat_matrix(bins=64)
+        assert matrix.shape == (8, 64)
+        assert len(edges) == 65
+
+    def test_config_level(self, small_synthetic):
+        trace, _config = small_synthetic
+        analysis = analyze_trace(trace, AnalysisConfig(level=1))
+        assert analysis.selection.level == 1
+
+
+class TestReporting:
+    def test_text_report_contents(self, small_synthetic):
+        trace, _config = small_synthetic
+        report = analyze_trace(trace).report()
+        assert "Dominant function selection" in report
+        assert "iteration" in report
+        assert "hot ranks" in report
+        assert "rank 5" in report
+
+    def test_report_dict_roundtrips_json(self, small_synthetic):
+        trace, _config = small_synthetic
+        d = analyze_trace(trace).to_dict()
+        payload = json.loads(json.dumps(d))
+        assert payload["dominant"]["name"] == "iteration"
+        assert payload["processes"] == 8
+        assert any(h["rank"] == 5 for h in payload["hot_ranks"])
+        assert isinstance(payload["segments"]["per_rank_sos_total"], list)
+
+    def test_report_on_clean_trace(self):
+        from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+        trace = generate(SyntheticConfig(ranks=4, iterations=6))
+        report = analyze_trace(trace).report()
+        assert "no significant runtime imbalance" in report
+
+    def test_trend_reported_for_growing_workload(self):
+        from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+        trace = generate(
+            SyntheticConfig(ranks=4, iterations=25, trend_per_step=0.04)
+        )
+        analysis = analyze_trace(trace)
+        assert analysis.trend.increasing
+        assert analysis.duration_trend.increasing

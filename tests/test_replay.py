@@ -1,0 +1,196 @@
+"""Tests for the vectorised stack replay (invocation matching)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiles.replay import InvocationTable, match_invocations, replay_trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import EventListBuilder
+
+
+def brute_force(events):
+    """Reference implementation with an explicit stack."""
+    from repro.trace.events import EventKind
+
+    stack = []
+    rows = []
+    for i in range(len(events)):
+        k = events.kind[i]
+        if k == EventKind.ENTER:
+            stack.append(i)
+        elif k == EventKind.LEAVE:
+            j = stack.pop()
+            rows.append((j, i))
+    rows.sort()
+    return rows
+
+
+class TestMatchInvocations:
+    def test_figure1(self, fig1):
+        table = match_invocations(fig1.events_of(0))
+        assert len(table) == 2
+        foo = table.for_region(fig1.regions.id_of("foo"))
+        bar = table.for_region(fig1.regions.id_of("bar"))
+        assert foo.inclusive[0] == 6.0
+        assert foo.exclusive[0] == 4.0
+        assert bar.inclusive[0] == 2.0 and bar.exclusive[0] == 2.0
+        assert foo.depth[0] == 1 and bar.depth[0] == 2
+
+    def test_parent_links(self, fig1):
+        table = match_invocations(fig1.events_of(0))
+        # Rows ordered by enter time: foo first, bar second.
+        assert table.parent[0] == -1
+        assert table.parent[1] == 0
+
+    def test_empty_stream(self):
+        table = match_invocations(EventListBuilder().freeze())
+        assert len(table) == 0
+
+    def test_metric_events_ignored(self, tiny_trace):
+        table = match_invocations(tiny_trace.events_of(0))
+        # main + 2*(iter, calc, MPI_Barrier) = 7 invocations
+        assert len(table) == 7
+
+    def test_unbalanced_raises(self):
+        b = EventListBuilder()
+        b.enter(0.0, 0)
+        with pytest.raises(ValueError, match="unbalanced"):
+            match_invocations(b.freeze())
+
+    def test_excess_leave_raises(self):
+        b = EventListBuilder()
+        b.enter(0.0, 0)
+        b.leave(1.0, 0)
+        b.leave(2.0, 0)
+        with pytest.raises(ValueError, match="unbalanced"):
+            match_invocations(b.freeze())
+
+    def test_mismatched_regions_raise(self):
+        b = EventListBuilder()
+        b.enter(0.0, 0)
+        b.enter(1.0, 1)
+        b.leave(2.0, 0)  # crossed
+        b.leave(3.0, 1)
+        with pytest.raises(ValueError, match="mismatched"):
+            match_invocations(b.freeze())
+
+    def test_recursion_outermost_flags(self):
+        tb = TraceBuilder()
+        tb.region("f")
+        p = tb.process(0)
+        p.enter(0.0, "f")
+        p.enter(1.0, "f")
+        p.enter(2.0, "f")
+        p.leave(3.0)
+        p.leave(4.0)
+        p.leave(5.0)
+        p.call(6.0, 7.0, "f")
+        table = match_invocations(tb.freeze().events_of(0))
+        assert len(table) == 4
+        # Ordered by enter time: depths 1,2,3 then 1.
+        assert list(table.outermost) == [True, False, False, True]
+
+    def test_exclusive_subtracts_all_children(self):
+        tb = TraceBuilder()
+        for name in ("p", "c1", "c2"):
+            tb.region(name)
+        proc = tb.process(0)
+        proc.enter(0.0, "p")
+        proc.call(1.0, 3.0, "c1")
+        proc.call(4.0, 9.0, "c2")
+        proc.leave(10.0)
+        table = match_invocations(tb.freeze().events_of(0))
+        parent = table.for_region(0)
+        assert parent.inclusive[0] == 10.0
+        assert parent.exclusive[0] == pytest.approx(3.0)
+
+    def test_zero_duration_frames(self):
+        tb = TraceBuilder()
+        tb.region("f")
+        p = tb.process(0)
+        p.call(1.0, 1.0, "f")
+        table = match_invocations(tb.freeze().events_of(0))
+        assert table.inclusive[0] == 0.0
+
+    def test_select_remaps_parents(self, fig1):
+        table = match_invocations(fig1.events_of(0))
+        sub = table.select(np.asarray([False, True]))
+        assert len(sub) == 1
+        assert sub.parent[0] == -1  # parent dropped -> -1
+
+    def test_enter_leave_indices_point_at_events(self, fig2):
+        ev = fig2.events_of(1)
+        table = match_invocations(ev)
+        from repro.trace.events import EventKind
+
+        assert np.all(ev.kind[table.enter_index] == EventKind.ENTER)
+        assert np.all(ev.kind[table.leave_index] == EventKind.LEAVE)
+        assert np.all(ev.ref[table.enter_index] == table.region)
+
+    def test_replay_trace_covers_all_ranks(self, fig2):
+        tables = replay_trace(fig2)
+        assert sorted(tables) == [0, 1, 2]
+        assert all(len(t) == 9 for t in tables.values())  # 1+1+3+2+2
+
+
+@st.composite
+def nested_program(draw):
+    """Random properly nested enter/leave sequence with random regions."""
+    ops = []
+    depth = 0
+    t = 0.0
+    for _ in range(draw(st.integers(min_value=0, max_value=40))):
+        t += draw(st.floats(min_value=0.0, max_value=2.0))
+        if depth > 0 and draw(st.booleans()):
+            ops.append(("leave", t))
+            depth -= 1
+        else:
+            ops.append(("enter", t, draw(st.integers(0, 4))))
+            depth += 1
+    while depth > 0:
+        t += 1.0
+        ops.append(("leave", t))
+        depth -= 1
+    return ops
+
+
+@given(nested_program())
+@settings(max_examples=60, deadline=None)
+def test_replay_matches_brute_force(ops):
+    b = EventListBuilder()
+    stack = []
+    for op in ops:
+        if op[0] == "enter":
+            b.enter(op[1], op[2])
+            stack.append(op[2])
+        else:
+            b.leave(op[1], stack.pop())
+    events = b.freeze()
+    table = match_invocations(events)
+    expected = brute_force(events)
+    got = sorted(zip(table.enter_index.tolist(), table.leave_index.tolist()))
+    assert got == expected
+    # Inclusive >= exclusive >= 0; child sums consistent.
+    assert np.all(table.exclusive >= -1e-12)
+    assert np.all(table.inclusive + 1e-12 >= table.exclusive)
+
+
+@given(nested_program())
+@settings(max_examples=40, deadline=None)
+def test_replay_parent_is_enclosing_frame(ops):
+    b = EventListBuilder()
+    stack = []
+    for op in ops:
+        if op[0] == "enter":
+            b.enter(op[1], op[2])
+            stack.append(op[2])
+        else:
+            b.leave(op[1], stack.pop())
+    table = match_invocations(b.freeze())
+    for i in range(len(table)):
+        p = table.parent[i]
+        if p >= 0:
+            assert table.t_enter[p] <= table.t_enter[i]
+            assert table.t_leave[p] >= table.t_leave[i]
+            assert table.depth[p] == table.depth[i] - 1

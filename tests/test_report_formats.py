@@ -1,0 +1,94 @@
+"""Tests for the text report module and small formatting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_trace
+from repro.core.report import _fmt_seconds, format_report, report_dict
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+
+class TestFmtSeconds:
+    def test_seconds(self):
+        assert _fmt_seconds(2.5) == "2.500 s"
+
+    def test_millis(self):
+        assert _fmt_seconds(0.0123) == "12.300 ms"
+
+    def test_micros(self):
+        assert _fmt_seconds(4.2e-6) == "4.200 us"
+
+    def test_nonfinite(self):
+        assert _fmt_seconds(float("nan")) == "n/a"
+        assert _fmt_seconds(float("inf")) == "n/a"
+
+
+class TestFormatReport:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_trace(
+            generate(
+                SyntheticConfig(ranks=6, iterations=10, slow_ranks={4: 1.7},
+                                outliers={(1, 6): 0.05}, seed=7)
+            )
+        )
+
+    def test_sections_present(self, analysis):
+        text = format_report(analysis)
+        for heading in (
+            "Performance-variation analysis",
+            "Dominant function selection",
+            "Segments and SOS-times",
+            "Findings",
+        ):
+            assert heading in text
+
+    def test_candidate_marker(self, analysis):
+        text = format_report(analysis)
+        assert "-> [0] iteration" in text
+
+    def test_both_finding_kinds(self, analysis):
+        text = format_report(analysis)
+        assert "hot ranks" in text
+        assert "hot segments" in text
+        assert "rank 4" in text
+
+    def test_max_rows_truncates(self, analysis):
+        text = format_report(analysis, max_rows=1)
+        # Only one candidate line printed.
+        assert "[1]" not in text
+
+    def test_mpi_share_line(self, analysis):
+        assert "MPI time share:" in format_report(analysis)
+
+
+class TestReportDict:
+    def test_schema(self):
+        analysis = analyze_trace(
+            generate(SyntheticConfig(ranks=4, iterations=6, seed=2))
+        )
+        d = report_dict(analysis)
+        assert set(d) >= {
+            "trace",
+            "processes",
+            "events",
+            "duration",
+            "mpi_share",
+            "dominant",
+            "segments",
+            "imbalance_pct",
+            "trend",
+            "hot_ranks",
+            "hot_segments",
+        }
+        assert len(d["segments"]["per_rank_sos_total"]) == 4
+        assert isinstance(d["dominant"]["candidates"], list)
+
+    def test_trend_block(self):
+        analysis = analyze_trace(
+            generate(SyntheticConfig(ranks=4, iterations=20,
+                                     trend_per_step=0.05, seed=2))
+        )
+        d = report_dict(analysis)
+        assert d["trend"]["increasing"] is True
+        assert d["trend"]["slope"] > 0

@@ -1,0 +1,213 @@
+"""Tests for segmentation and SOS-time computation (paper Sections IV-V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SyncClassifier,
+    compute_sos,
+    default_classifier,
+    segment_trace,
+    select_dominant,
+    top_level_sync_mask,
+)
+from repro.paper import FIGURE3_CALC, FIGURE3_DURATIONS
+from repro.profiles import replay_trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.definitions import Paradigm, RegionRole
+
+
+def analyze_fig3(fig3):
+    tables = replay_trace(fig3)
+    selection = select_dominant(fig3, tables=tables)
+    segmentation = segment_trace(tables, selection.region)
+    sos = compute_sos(fig3, segmentation, tables)
+    return segmentation, sos
+
+
+class TestSegmentation:
+    def test_segments_per_rank(self, fig3):
+        segmentation, _sos = analyze_fig3(fig3)
+        assert segmentation.total_segments == 9
+        assert list(segmentation.counts()) == [3, 3, 3]
+
+    def test_segment_durations_match_paper(self, fig3):
+        segmentation, _sos = analyze_fig3(fig3)
+        matrix = segmentation.durations_matrix()
+        for row in matrix:
+            assert list(row) == list(FIGURE3_DURATIONS)
+
+    def test_covering(self, fig3):
+        segmentation, _sos = analyze_fig3(fig3)
+        seg = segmentation[0]
+        assert seg.covering(0.5) == 0
+        assert seg.covering(7.0) == 1
+        assert seg.covering(13.5) == 2
+        assert seg.covering(99.0) == -1
+
+    def test_time_extent(self, fig3):
+        segmentation, _sos = analyze_fig3(fig3)
+        assert segmentation.t_min == 0.0
+        assert segmentation.t_max == 14.0
+
+    def test_recursive_dominant_uses_outermost(self):
+        tb = TraceBuilder()
+        tb.region("f")
+        p0 = tb.process(0)
+        # Recursive: f calls f; only outermost spans become segments.
+        p0.enter(0.0, "f")
+        p0.call(1.0, 2.0, "f")
+        p0.leave(3.0)
+        p0.call(4.0, 5.0, "f")
+        trace = tb.freeze()
+        tables = replay_trace(trace)
+        segmentation = segment_trace(tables, trace.regions.id_of("f"))
+        assert len(segmentation[0]) == 2
+        assert list(segmentation[0].duration) == [3.0, 1.0]
+
+    def test_rank_without_invocations(self, fig3):
+        tables = replay_trace(fig3)
+        ghost = fig3.regions.register("ghost")
+        segmentation = segment_trace(tables, ghost)
+        assert segmentation.total_segments == 0
+        assert segmentation.durations_matrix().size == 0
+
+
+class TestSOSFigure3:
+    """The exact numbers from the paper's Figure 3."""
+
+    def test_plain_durations_hide_imbalance(self, fig3):
+        _seg, sos = analyze_fig3(fig3)
+        durations = sos.duration_matrix()
+        # All processes show identical durations per iteration.
+        assert np.allclose(durations, durations[0])
+
+    def test_sos_reveals_imbalance(self, fig3):
+        _seg, sos = analyze_fig3(fig3)
+        matrix = sos.matrix()
+        for it in range(3):
+            assert list(matrix[:, it]) == [
+                pytest.approx(FIGURE3_CALC[it][rank]) for rank in range(3)
+            ]
+
+    def test_first_iteration_paper_quote(self, fig3):
+        """Paper: "the SOS-time of Process 2 shows 1 compared to a
+        SOS-time of 5 for Process 0"."""
+        _seg, sos = analyze_fig3(fig3)
+        assert sos[2].sos[0] == pytest.approx(1.0)
+        assert sos[0].sos[0] == pytest.approx(5.0)
+
+    def test_sync_time_is_complement(self, fig3):
+        _seg, sos = analyze_fig3(fig3)
+        for rank in (0, 1, 2):
+            np.testing.assert_allclose(
+                sos[rank].sos + sos[rank].sync_time, sos[rank].duration
+            )
+
+    def test_per_rank_totals(self, fig3):
+        _seg, sos = analyze_fig3(fig3)
+        totals = sos.per_rank_total()
+        assert list(totals) == [
+            pytest.approx(sum(FIGURE3_CALC[i][r] for i in range(3)))
+            for r in range(3)
+        ]
+
+    def test_flattened(self, fig3):
+        _seg, sos = analyze_fig3(fig3)
+        ranks, indices, values = sos.flattened()
+        assert len(ranks) == 9
+        assert set(ranks.tolist()) == {0, 1, 2}
+        assert list(indices[:3]) == [0, 1, 2]
+
+
+class TestSOSEdgeCases:
+    def test_nested_sync_not_double_counted(self):
+        """MPI_Wait inside a sync wrapper must be subtracted once."""
+        tb = TraceBuilder()
+        tb.region("iter")
+        tb.region("exchange", role=RegionRole.SYNCHRONIZATION)
+        tb.region("MPI_Wait", paradigm=Paradigm.MPI)
+        for rank in (0, 1):
+            p = tb.process(rank)
+            p.enter(0.0, "iter")
+            p.enter(1.0, "exchange")
+            p.call(1.5, 2.5, "MPI_Wait")
+            p.leave(3.0, "exchange")
+            p.leave(4.0, "iter")
+            p.call(4.0, 8.0, "iter")
+        trace = tb.freeze()
+        tables = replay_trace(trace)
+        segmentation = segment_trace(tables, trace.regions.id_of("iter"))
+        sos = compute_sos(trace, segmentation, tables)
+        # Segment 1: duration 4, sync = exchange's 2 (not 2 + 1).
+        assert sos[0].sos[0] == pytest.approx(2.0)
+        assert sos[0].sync_time[0] == pytest.approx(2.0)
+
+    def test_top_level_sync_mask(self):
+        tb = TraceBuilder()
+        tb.region("iter")
+        tb.region("wrapper", role=RegionRole.SYNCHRONIZATION)
+        tb.region("MPI_Wait", paradigm=Paradigm.MPI)
+        p = tb.process(0)
+        p.enter(0.0, "iter")
+        p.enter(1.0, "wrapper")
+        p.call(1.5, 2.0, "MPI_Wait")
+        p.leave(3.0)
+        p.call(3.0, 3.5, "MPI_Wait")
+        p.leave(4.0)
+        trace = tb.freeze()
+        table = replay_trace(trace)[0]
+        mask = top_level_sync_mask(table, default_classifier().mask(trace))
+        regions = table.region[mask]
+        names = sorted(trace.regions[int(r)].name for r in regions)
+        # wrapper (top sync) and the second MPI_Wait, not the nested one.
+        assert names == ["MPI_Wait", "wrapper"]
+
+    def test_sync_outside_segments_ignored(self):
+        tb = TraceBuilder()
+        tb.region("iter")
+        tb.region("MPI_Barrier", paradigm=Paradigm.MPI)
+        p = tb.process(0)
+        p.call(0.0, 1.0, "MPI_Barrier")  # before any segment
+        p.call(1.0, 3.0, "iter")
+        p.call(3.0, 5.0, "iter")
+        p.call(5.0, 6.0, "MPI_Barrier")  # after all segments
+        trace = tb.freeze()
+        tables = replay_trace(trace)
+        segmentation = segment_trace(tables, trace.regions.id_of("iter"))
+        sos = compute_sos(trace, segmentation, tables)
+        assert list(sos[0].sync_time) == [0.0, 0.0]
+        assert list(sos[0].sos) == [2.0, 2.0]
+
+    def test_custom_classifier(self, fig3):
+        tables = replay_trace(fig3)
+        segmentation = segment_trace(tables, fig3.regions.id_of("a"))
+        # Classify nothing as sync: SOS == duration.
+        none = SyncClassifier(
+            sync_paradigms=(), sync_roles=(), name_patterns=()
+        )
+        sos = compute_sos(fig3, segmentation, tables, none)
+        np.testing.assert_allclose(sos.matrix(), sos.duration_matrix())
+
+    def test_empty_segmentation(self, fig3):
+        tables = replay_trace(fig3)
+        ghost = fig3.regions.register("ghost2")
+        segmentation = segment_trace(tables, ghost)
+        sos = compute_sos(fig3, segmentation, tables)
+        assert sos.per_rank_total().tolist() == [0.0, 0.0, 0.0]
+
+    def test_matrix_padding_with_uneven_counts(self):
+        tb = TraceBuilder()
+        tb.region("f")
+        p0 = tb.process(0)
+        p0.call(0.0, 1.0, "f")
+        p0.call(1.0, 2.0, "f")
+        p1 = tb.process(1)
+        p1.call(0.0, 1.0, "f")
+        trace = tb.freeze()
+        tables = replay_trace(trace)
+        segmentation = segment_trace(tables, 0)
+        sos = compute_sos(trace, segmentation, tables)
+        matrix = sos.matrix()
+        assert matrix.shape == (2, 2)
+        assert np.isnan(matrix[1, 1])

@@ -1,0 +1,183 @@
+"""Tests for the streaming (in-situ) analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_trace
+from repro.core.streaming import StreamingAnalyzer
+from repro.sim.workloads.synthetic import SyntheticConfig, generate
+from repro.trace.builder import TraceBuilder
+from repro.trace.definitions import Paradigm
+
+
+@pytest.fixture(scope="module")
+def stream_trace():
+    config = SyntheticConfig(
+        ranks=6,
+        iterations=20,
+        slow_ranks={4: 1.5},
+        outliers={(2, 14): 0.08},
+        seed=11,
+    )
+    return generate(config)
+
+
+def feed_all(analyzer, trace, chunk=64):
+    for rank in trace.ranks:
+        events = trace.events_of(rank)
+        for i in range(0, len(events), chunk):
+            analyzer.feed(rank, events[i : i + chunk])
+
+
+class TestBatchEquivalence:
+    def test_sos_values_match_batch(self, stream_trace):
+        batch = analyze_trace(stream_trace)
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant=batch.dominant_name,
+        )
+        feed_all(analyzer, stream_trace)
+        for rank in stream_trace.ranks:
+            np.testing.assert_allclose(
+                analyzer.sos_series(rank), batch.sos[rank].sos
+            )
+
+    def test_chunk_size_does_not_matter(self, stream_trace):
+        results = []
+        for chunk in (1, 7, 1000):
+            analyzer = StreamingAnalyzer(
+                stream_trace.regions, stream_trace.num_processes,
+                dominant="iteration",
+            )
+            feed_all(analyzer, stream_trace, chunk=chunk)
+            results.append(analyzer.sos_series(0))
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_segment_metadata(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(analyzer, stream_trace)
+        segments = analyzer.segments(3)
+        assert len(segments) == 20
+        assert all(s.rank == 3 for s in segments)
+        assert [s.index for s in segments] == list(range(20))
+        assert all(s.duration >= s.sos >= 0 for s in segments)
+
+
+class TestOnlineAlerts:
+    def test_outlier_alerts_immediately(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(analyzer, stream_trace)
+        assert len(analyzer.alerts) >= 1
+        alert = analyzer.alerts[0]
+        assert alert.segment.rank == 2
+        assert alert.segment.index == 14
+        assert alert.zscore > analyzer.alert_threshold
+
+    def test_clean_run_produces_no_alerts(self):
+        trace = generate(SyntheticConfig(ranks=4, iterations=15, seed=1))
+        analyzer = StreamingAnalyzer(
+            trace.regions, trace.num_processes, dominant="iteration"
+        )
+        feed_all(analyzer, trace)
+        assert analyzer.alerts == []
+
+    def test_alert_str(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(analyzer, stream_trace)
+        assert "rank 2" in str(analyzer.alerts[0])
+
+    def test_snapshot_hot_ranks(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(analyzer, stream_trace)
+        assert 4 in analyzer.snapshot_hot_ranks()
+
+
+class TestWarmupSelection:
+    def test_auto_selects_dominant(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            warmup_invocations=60,
+        )
+        feed_all(analyzer, stream_trace)
+        assert analyzer.dominant_name == "iteration"
+        # Segments only from the selection point onward.
+        total = sum(len(analyzer.segments(r)) for r in stream_trace.ranks)
+        assert 0 < total <= 6 * 20
+
+    def test_select_now_without_data(self):
+        from repro.trace.definitions import RegionRegistry
+
+        regions = RegionRegistry()
+        regions.register("f")
+        analyzer = StreamingAnalyzer(regions, 4)
+        with pytest.raises(ValueError, match="no dominant-function candidate"):
+            analyzer.select_now()
+
+    def test_select_now_idempotent(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        assert analyzer.select_now() == stream_trace.regions.id_of("iteration")
+
+    def test_sync_regions_never_selected(self):
+        tb = TraceBuilder()
+        tb.region("MPI_Allreduce", paradigm=Paradigm.MPI)
+        tb.region("step")
+        p = tb.process(0)
+        for i in range(30):
+            p.call(2.0 * i, 2.0 * i + 1.6, "MPI_Allreduce")
+            p.call(2.0 * i + 1.6, 2.0 * i + 2.0, "step")
+        trace = tb.freeze()
+        analyzer = StreamingAnalyzer(trace.regions, 1, warmup_invocations=40)
+        analyzer.feed(0, trace.events_of(0))
+        analyzer.select_now()
+        assert analyzer.dominant_name == "step"
+
+
+class TestStreamValidation:
+    def test_out_of_order_chunk_rejected(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        events = stream_trace.events_of(0)
+        analyzer.feed(0, events[10:20])
+        with pytest.raises(ValueError, match="not time-ordered"):
+            analyzer.feed(0, events[0:5])
+
+    def test_mismatched_leave_rejected(self):
+        tb = TraceBuilder()
+        tb.region("a")
+        tb.region("b")
+        p = tb.process(0)
+        p.enter(0.0, "a")
+        p.enter(1.0, "b")
+        p.leave(2.0)
+        p.leave(3.0)
+        trace = tb.freeze()
+        analyzer = StreamingAnalyzer(trace.regions, 1, dominant="a")
+        events = trace.events_of(0)
+        # Corrupt: drop the inner leave so the outer one mismatches.
+        import numpy as np
+
+        keep = np.asarray([True, True, False, True])
+        with pytest.raises(ValueError, match="does not match"):
+            analyzer.feed(0, events.select(keep))
+
+    def test_bad_process_count(self, stream_trace):
+        with pytest.raises(ValueError):
+            StreamingAnalyzer(stream_trace.regions, 0)

@@ -1,0 +1,103 @@
+"""Tests for structural trace validation."""
+
+import numpy as np
+import pytest
+
+from repro.trace import Location, Trace, validate_trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import EventKind, EventList, EventListBuilder
+
+
+def stream(rows):
+    """rows: (time, kind, ref) triples."""
+    b = EventListBuilder()
+    for t, kind, ref in rows:
+        b.append(t, kind, ref=ref)
+    return b.freeze()
+
+
+def single_process_trace(events, regions=("main",), metrics=()):
+    trace = Trace(name="t")
+    for name in regions:
+        trace.regions.register(name)
+    for name in metrics:
+        trace.metrics.register(name)
+    trace.add_process(Location(0, "P0"), events)
+    return trace
+
+
+def codes(report):
+    return {issue.code for issue in report.issues}
+
+
+class TestValidateTrace:
+    def test_valid_trace(self, fig2):
+        assert validate_trace(fig2).ok
+
+    def test_no_processes(self):
+        report = validate_trace(Trace(name="empty"))
+        assert codes(report) == {"no-processes"}
+
+    def test_empty_stream_flagged_and_suppressed(self):
+        trace = single_process_trace(EventList.empty())
+        assert codes(validate_trace(trace)) == {"empty-stream"}
+        assert validate_trace(trace, allow_empty_streams=True).ok
+
+    def test_unmatched_leave(self):
+        trace = single_process_trace(stream([(0.0, EventKind.LEAVE, 0)]))
+        assert "unmatched-leave" in codes(validate_trace(trace))
+
+    def test_mismatched_leave(self):
+        trace = single_process_trace(
+            stream([(0.0, EventKind.ENTER, 0), (1.0, EventKind.LEAVE, 1)]),
+            regions=("a", "b"),
+        )
+        assert "mismatched-leave" in codes(validate_trace(trace))
+
+    def test_unclosed_regions(self):
+        trace = single_process_trace(stream([(0.0, EventKind.ENTER, 0)]))
+        assert "unclosed-regions" in codes(validate_trace(trace))
+
+    def test_bad_region_ref(self):
+        trace = single_process_trace(
+            stream([(0.0, EventKind.ENTER, 7), (1.0, EventKind.LEAVE, 7)])
+        )
+        assert "bad-region-ref" in codes(validate_trace(trace))
+
+    def test_bad_metric_ref(self):
+        b = EventListBuilder()
+        b.metric(0.0, metric=5, value=1.0)
+        trace = single_process_trace(b.freeze())
+        report = validate_trace(trace, allow_empty_streams=True)
+        assert "bad-metric-ref" in codes(report)
+
+    def test_bad_partner(self):
+        b = EventListBuilder()
+        b.send(0.0, partner=9)
+        trace = single_process_trace(b.freeze())
+        assert "bad-partner" in codes(validate_trace(trace))
+
+    def test_raise_if_invalid(self):
+        trace = single_process_trace(stream([(0.0, EventKind.ENTER, 0)]))
+        report = validate_trace(trace)
+        with pytest.raises(ValueError, match="invalid trace"):
+            report.raise_if_invalid()
+
+    def test_report_bool_and_len(self, fig1):
+        report = validate_trace(fig1)
+        assert bool(report) and len(report) == 0
+        report.raise_if_invalid()  # no-op on valid traces
+
+    def test_issue_str_includes_rank(self):
+        trace = single_process_trace(stream([(0.0, EventKind.LEAVE, 0)]))
+        text = str(validate_trace(trace).issues[0])
+        assert "rank 0" in text
+
+    def test_time_order_detected(self):
+        # The builder cannot create unsorted streams, so corrupt a valid
+        # one in place (the arrays are merely flagged read-only).
+        good = stream([(0.0, EventKind.ENTER, 0), (1.0, EventKind.LEAVE, 0)])
+        good.time.setflags(write=True)
+        good.time[:] = [1.0, 0.5]
+        trace = single_process_trace(good)
+        assert "time-order" in codes(validate_trace(trace))
