@@ -30,6 +30,8 @@ _LAZY = {
     "analyze_trace": ("repro.core.pipeline", "analyze_trace"),
     "VariationAnalysis": ("repro.core.pipeline", "VariationAnalysis"),
     "AnalysisConfig": ("repro.core.pipeline", "AnalysisConfig"),
+    "AnalysisSession": ("repro.core.session", "AnalysisSession"),
+    "fingerprint_trace": ("repro.trace.fingerprint", "fingerprint_trace"),
     "Trace": ("repro.trace", "Trace"),
     "TraceBuilder": ("repro.trace", "TraceBuilder"),
     "read_trace": ("repro.trace", "read_trace"),

@@ -1,0 +1,28 @@
+"""Shared session plumbing for the baseline analyses.
+
+Every baseline consumes a trace plus (optionally) its profile.  With an
+:class:`~repro.core.session.AnalysisSession` the profile comes from the
+session's memoized stage graph, so running all four baselines after an
+``analyze`` replays and re-profiles nothing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["resolve_inputs"]
+
+
+def resolve_inputs(trace, profile, session):
+    """Normalise (trace, profile, session) to a concrete (trace, profile).
+
+    ``profile`` may still be None when neither a profile nor a session
+    is given; callers fall back to :func:`repro.profiles.profile_trace`.
+    """
+    if session is not None:
+        if trace is not None and trace is not session.trace:
+            raise ValueError("session was created for a different trace")
+        trace = session.trace
+        if profile is None:
+            profile = session.profile()
+    if trace is None:
+        raise TypeError("pass a trace or an AnalysisSession")
+    return trace, profile

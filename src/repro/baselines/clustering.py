@@ -23,6 +23,7 @@ from ..profiles.profile import TraceProfile, profile_trace
 from ..sim.countermodel import PAPI_TOT_CYC
 from ..trace.definitions import Paradigm
 from ..trace.trace import Trace
+from ._common import resolve_inputs
 
 __all__ = ["Burst", "ClusterResult", "extract_bursts", "kmeans", "cluster_phases"]
 
@@ -167,13 +168,19 @@ def kmeans(
 
 
 def cluster_phases(
-    trace: Trace,
+    trace: Trace | None = None,
     k: int = 4,
     profile: TraceProfile | None = None,
     seed: int = 0,
     min_duration: float = 0.0,
+    *,
+    session=None,
 ) -> ClusterResult:
-    """Cluster computation bursts on (log duration, cycle rate)."""
+    """Cluster computation bursts on (log duration, cycle rate).
+
+    Pass ``session`` to reuse a memoized session profile.
+    """
+    trace, profile = resolve_inputs(trace, profile, session)
     bursts = extract_bursts(trace, profile=profile, min_duration=min_duration)
     result = ClusterResult(bursts=bursts)
     if not bursts:

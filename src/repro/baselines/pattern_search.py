@@ -28,6 +28,7 @@ import numpy as np
 from ..profiles.profile import TraceProfile, profile_trace
 from ..trace.definitions import Paradigm
 from ..trace.trace import Trace
+from ._common import resolve_inputs
 
 __all__ = ["PatternInstance", "PatternSearchResult", "search_patterns"]
 
@@ -193,11 +194,17 @@ def _imbalance_patterns(
 
 
 def search_patterns(
-    trace: Trace,
+    trace: Trace | None = None,
     profile: TraceProfile | None = None,
     top_k: int = 10,
+    *,
+    session=None,
 ) -> PatternSearchResult:
-    """Run the full pattern catalogue over ``trace``."""
+    """Run the full pattern catalogue over ``trace``.
+
+    Pass ``session`` to reuse a memoized session profile.
+    """
+    trace, profile = resolve_inputs(trace, profile, session)
     if profile is None:
         profile = profile_trace(trace)
     result = PatternSearchResult()

@@ -19,6 +19,7 @@ from ..core.imbalance import imbalance_percentage, robust_zscores
 from ..profiles.profile import TraceProfile, profile_trace
 from ..trace.definitions import Paradigm
 from ..trace.trace import Trace
+from ._common import resolve_inputs
 
 __all__ = ["ProfileOnlyFinding", "ProfileOnlyResult", "analyze_profile_only"]
 
@@ -55,11 +56,13 @@ class ProfileOnlyResult:
 
 
 def analyze_profile_only(
-    trace: Trace,
+    trace: Trace | None = None,
     profile: TraceProfile | None = None,
     rank_threshold: float = 3.0,
     min_relative_excess: float = 0.1,
     top_k: int = 10,
+    *,
+    session=None,
 ) -> ProfileOnlyResult:
     """Analyse ``trace`` using only aggregated profile data.
 
@@ -68,7 +71,12 @@ def analyze_profile_only(
     flagged with the same robust statistics as the main pipeline so
     the comparison isolates the effect of aggregation, not of the
     detector.
+
+    Pass ``session`` to reuse a memoized
+    :class:`~repro.core.session.AnalysisSession` profile instead of
+    re-profiling.
     """
+    trace, profile = resolve_inputs(trace, profile, session)
     if profile is None:
         profile = profile_trace(trace)
     result = ProfileOnlyResult()

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..profiles.profile import TraceProfile, profile_trace
 from ..trace.trace import Trace
+from ._common import resolve_inputs
 
 __all__ = ["RepresentativeResult", "select_representatives"]
 
@@ -57,9 +58,11 @@ def _feature_matrix(trace: Trace, profile: TraceProfile) -> np.ndarray:
 
 
 def select_representatives(
-    trace: Trace,
+    trace: Trace | None = None,
     profile: TraceProfile | None = None,
     similarity_threshold: float = 0.1,
+    *,
+    session=None,
 ) -> RepresentativeResult:
     """Greedy threshold clustering of processes by behaviour.
 
@@ -70,6 +73,7 @@ def select_representatives(
     """
     if similarity_threshold < 0:
         raise ValueError("similarity_threshold must be non-negative")
+    trace, profile = resolve_inputs(trace, profile, session)
     if profile is None:
         profile = profile_trace(trace)
     features = _feature_matrix(trace, profile)

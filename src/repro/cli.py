@@ -1,15 +1,20 @@
 """Command-line interface: simulate, analyze, render, inspect traces.
 
+Trace-consuming subcommands are *session-aware*: with ``--cache-dir``
+they persist replay/profile/SOS artifacts keyed by the trace's content
+fingerprint, so a second ``analyze`` (or a follow-up ``render`` /
+``explain`` / ``compare``) of the same trace recomputes nothing.
+
 Examples
 --------
 ::
 
     repro-trace simulate cosmo_specs -o /tmp/cs.rpt
-    repro-trace analyze /tmp/cs.rpt --views /tmp/cs_views --ascii
+    repro-trace analyze /tmp/cs.rpt --cache-dir /tmp/cache --ascii
+    repro-trace analyze /tmp/cs.rpt --cache-dir /tmp/cache --html cs.html
     repro-trace analyze /tmp/cs.rpt --function specs_microphysics
     repro-trace profile /tmp/cs.rpt -k 20
-    repro-trace info /tmp/cs.rpt
-    repro-trace validate /tmp/cs.rpt
+    repro-trace cache info --cache-dir /tmp/cache
     repro-trace baselines /tmp/cs.rpt
 """
 
@@ -29,6 +34,65 @@ _WORKLOADS = (
     "hybrid_openmp",
 )
 
+#: Exit code for unusable input paths / malformed traces (sysexits-ish).
+EXIT_BAD_INPUT = 2
+
+
+class CLIError(Exception):
+    """User-facing error; printed to stderr, exits with EXIT_BAD_INPUT."""
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata missing in dev trees
+        from . import __version__
+
+        return __version__
+
+
+def _load_trace(path: str):
+    """Read a trace, mapping unusable paths to a consistent CLIError."""
+    from .trace import read_trace
+    from .trace.reader import TraceFormatError
+
+    try:
+        return read_trace(path)
+    except FileNotFoundError:
+        raise CLIError(f"trace file not found: {path}")
+    except IsADirectoryError:
+        raise CLIError(f"trace path is a directory: {path}")
+    except (TraceFormatError, ValueError) as err:
+        raise CLIError(f"cannot read trace {path}: {err}")
+    except OSError as err:
+        raise CLIError(f"cannot read trace {path}: {err}")
+
+
+def _session(trace, args, config=None):
+    """Build an AnalysisSession honouring --cache-dir/--parallel."""
+    from .core.session import AnalysisSession
+
+    parallel = getattr(args, "parallel", None)
+    if parallel is not None and parallel < 1:
+        raise CLIError(f"--parallel must be >= 1, got {parallel}")
+    return AnalysisSession(
+        trace,
+        config=config,
+        cache_dir=getattr(args, "cache_dir", None),
+        parallel=parallel,
+    )
+
+
+def _add_cache_arg(parser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for persistent analysis artifacts (.npz), keyed "
+        "by trace content; reused across commands and processes",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -37,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Detection and visualization of performance variations in "
             "parallel application traces (Weber et al., ICPP 2016)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -63,18 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--ascii", action="store_true",
                      help="print the SOS heat map as ANSI art")
     ana.add_argument("--bins", type=int, default=512)
+    ana.add_argument("--parallel", type=int, default=None, metavar="N",
+                     help="replay ranks with N worker threads")
+    _add_cache_arg(ana)
 
     prof = sub.add_parser("profile", help="print the flat profile")
     prof.add_argument("trace")
     prof.add_argument("-k", type=int, default=15)
     prof.add_argument("--tree", action="store_true",
                       help="print the call tree instead of the flat profile")
+    _add_cache_arg(prof)
 
     ren = sub.add_parser("render", help="render trace views without analysis")
     ren.add_argument("trace")
     ren.add_argument("-o", "--output", required=True, help="output directory")
     ren.add_argument("--messages", action="store_true",
                      help="draw message lines on the timeline")
+    _add_cache_arg(ren)
 
     info = sub.add_parser("info", help="print trace summary")
     info.add_argument("trace")
@@ -84,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     base = sub.add_parser("baselines", help="run the baseline analyses")
     base.add_argument("trace")
+    _add_cache_arg(base)
+
+    cache = sub.add_parser("cache", help="inspect or clear an artifact cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache-dir", required=True,
+                       help="artifact cache directory")
 
     conv = sub.add_parser("convert", help="convert between trace formats")
     conv.add_argument("trace")
@@ -97,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="segment index (default: hottest finding)")
     expl.add_argument("--function", default=None,
                       help="pin the segmentation to this candidate function")
+    _add_cache_arg(expl)
 
     mon = sub.add_parser(
         "monitor",
@@ -116,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--function", default=None,
                       help="pin both segmentations to this function")
     comp.add_argument("--min-relative-delta", type=float, default=0.25)
+    _add_cache_arg(comp)
     return parser
 
 
@@ -174,13 +254,11 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from .core import AnalysisConfig, analyze_trace
-    from .trace import read_trace
+    from .core import AnalysisConfig
 
-    trace = read_trace(args.trace)
-    analysis = analyze_trace(trace, AnalysisConfig(level=args.level))
-    if args.function:
-        analysis = analysis.at_function(args.function)
+    trace = _load_trace(args.trace)
+    session = _session(trace, args, config=AnalysisConfig(level=args.level))
+    analysis = session.analysis(function=args.function or None)
     print(analysis.report())
     if args.ascii:
         from .viz import heat_to_ansi
@@ -205,14 +283,15 @@ def _cmd_analyze(args) -> int:
 
         render_html_report(analysis, args.html_out, bins=args.bins)
         print(f"\nwrote {args.html_out}")
+    if args.cache_dir:
+        info = session.cache_info()
+        print(f"\ncache: {info.format()}")
     return 0
 
 
 def _cmd_profile(args) -> int:
-    from .profiles import profile_trace
-    from .trace import read_trace
-
-    profile = profile_trace(read_trace(args.trace))
+    trace = _load_trace(args.trace)
+    profile = _session(trace, args).profile()
     if args.tree:
         print(profile.call_tree.format())
     else:
@@ -224,23 +303,23 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_render(args) -> int:
-    from .trace import read_trace
     from .viz import render_timeline_png
 
-    trace = read_trace(args.trace)
+    trace = _load_trace(args.trace)
     import os
 
     os.makedirs(args.output, exist_ok=True)
     path = os.path.join(args.output, "timeline.png")
-    render_timeline_png(trace, path, show_messages=args.messages)
+    # Feed the (possibly cached) replay into the renderer so rendering
+    # after an `analyze --cache-dir` run replays nothing.
+    tables = _session(trace, args).replay()
+    render_timeline_png(trace, path, tables=tables, show_messages=args.messages)
     print(f"wrote {path}")
     return 0
 
 
 def _cmd_info(args) -> int:
-    from .trace import read_trace
-
-    trace = read_trace(args.trace)
+    trace = _load_trace(args.trace)
     for key, value in trace.summary().items():
         print(f"{key:>12}: {value}")
     if trace.attributes:
@@ -251,9 +330,9 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    from .trace import read_trace, validate_trace
+    from .trace import validate_trace
 
-    report = validate_trace(read_trace(args.trace))
+    report = validate_trace(_load_trace(args.trace))
     if report.ok:
         print("trace is well-formed")
         return 0
@@ -269,20 +348,18 @@ def _cmd_baselines(args) -> int:
         search_patterns,
         select_representatives,
     )
-    from .profiles import profile_trace
-    from .trace import read_trace
 
-    trace = read_trace(args.trace)
-    profile = profile_trace(trace)
+    trace = _load_trace(args.trace)
+    session = _session(trace, args)
 
     print("== profile-only (TAU-style) ==")
-    po = analyze_profile_only(trace, profile)
+    po = analyze_profile_only(session=session)
     print(f"  MPI share: {100 * po.mpi_share:.1f}%")
     for finding in po.findings[:6]:
         print(f"  [{finding.kind}] {finding.name}: {finding.detail}")
 
     print("== pattern search (Scalasca-style) ==")
-    ps = search_patterns(trace, profile)
+    ps = search_patterns(session=session)
     for inst in ps.top(5):
         print(
             f"  [{inst.pattern}] {inst.region}: severity {inst.severity:.4g}s"
@@ -290,34 +367,30 @@ def _cmd_baselines(args) -> int:
         )
 
     print("== representatives (Mohror-style) ==")
-    rep = select_representatives(trace, profile)
+    rep = select_representatives(session=session)
     print(
         f"  {len(rep.representatives)} representatives for "
         f"{trace.num_processes} processes (reduction {100 * rep.reduction:.0f}%)"
     )
 
     print("== phase clustering (Gonzalez-style) ==")
-    cl = cluster_phases(trace, profile=profile)
+    cl = cluster_phases(session=session)
     print(f"  {len(cl.bursts)} bursts, cluster sizes {cl.cluster_sizes().tolist()}")
     return 0
 
 
 def _cmd_convert(args) -> int:
-    from .trace import read_trace
-
-    trace = read_trace(args.trace)
+    trace = _load_trace(args.trace)
     _write_trace(trace, args.output)
     print(f"wrote {args.output}")
     return 0
 
 
 def _cmd_explain(args) -> int:
-    from .core import analyze_trace, explain_segment
-    from .trace import read_trace
+    from .core import explain_segment
 
-    analysis = analyze_trace(read_trace(args.trace))
-    if args.function:
-        analysis = analysis.at_function(args.function)
+    trace = _load_trace(args.trace)
+    analysis = _session(trace, args).analysis(function=args.function or None)
     rank, segment = args.rank, args.segment
     if rank is None or segment is None:
         hot = analysis.imbalance.hottest_segment()
@@ -342,9 +415,8 @@ def _cmd_explain(args) -> int:
 
 def _cmd_monitor(args) -> int:
     from .core.streaming import StreamingAnalyzer
-    from .trace import read_trace
 
-    trace = read_trace(args.trace)
+    trace = _load_trace(args.trace)
     analyzer = StreamingAnalyzer(
         trace.regions,
         trace.num_processes,
@@ -368,15 +440,32 @@ def _cmd_monitor(args) -> int:
 
 def _cmd_compare(args) -> int:
     from .core.compare import compare_traces
-    from .trace import read_trace
 
     comparison = compare_traces(
-        read_trace(args.trace_a),
-        read_trace(args.trace_b),
+        _load_trace(args.trace_a),
+        _load_trace(args.trace_b),
         dominant=args.function,
         min_relative_delta=args.min_relative_delta,
+        cache_dir=args.cache_dir,
     )
     print(comparison.format())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import os
+
+    from .core.session import ArtifactCache
+
+    if not os.path.isdir(args.cache_dir):
+        print(f"{args.cache_dir}: no cache (directory does not exist)")
+        return 0
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "info":
+        print(cache.info().format())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} artifacts from {args.cache_dir}")
     return 0
 
 
@@ -388,6 +477,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "validate": _cmd_validate,
     "baselines": _cmd_baselines,
+    "cache": _cmd_cache,
     "convert": _cmd_convert,
     "compare": _cmd_compare,
     "explain": _cmd_explain,
@@ -397,7 +487,11 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CLIError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_BAD_INPUT
 
 
 if __name__ == "__main__":  # pragma: no cover

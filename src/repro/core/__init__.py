@@ -35,6 +35,7 @@ from .imbalance import (
 )
 from .pipeline import AnalysisConfig, VariationAnalysis, analyze_trace
 from .segments import RankSegments, Segmentation, segment_trace
+from .session import AnalysisSession, ArtifactCache, CacheInfo, SessionStats
 from .sos import RankSOS, SOSResult, compute_sos, top_level_sync_mask
 from .variation import (
     TrendResult,
@@ -47,6 +48,10 @@ from .variation import (
 __all__ = [
     "ActivityShares",
     "AnalysisConfig",
+    "AnalysisSession",
+    "ArtifactCache",
+    "CacheInfo",
+    "SessionStats",
     "CommMatrix",
     "DominantCandidate",
     "DominantSelection",

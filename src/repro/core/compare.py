@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .pipeline import AnalysisConfig, VariationAnalysis, analyze_trace
+from .pipeline import AnalysisConfig, VariationAnalysis
 
 __all__ = ["RunComparison", "SegmentDelta", "compare_analyses", "compare_traces"]
 
@@ -171,16 +171,26 @@ def compare_traces(
     trace_b,
     config: AnalysisConfig | None = None,
     dominant: str | None = None,
+    cache_dir=None,
+    parallel: bool | int | None = None,
     **kwargs,
 ) -> RunComparison:
     """Analyze two traces and compare them.
 
     ``dominant`` pins both segmentations to the named function; by
-    default each trace's own selection is used (and must agree).
+    default each trace's own selection is used (and must agree).  Each
+    trace gets its own :class:`~repro.core.session.AnalysisSession`;
+    with a shared ``cache_dir`` the reference run's artifacts persist,
+    so re-comparing against new candidates replays only the new trace.
     """
-    a = analyze_trace(trace_a, config)
-    b = analyze_trace(trace_b, config)
-    if dominant is not None:
-        a = a.at_function(dominant)
-        b = b.at_function(dominant)
+    from .session import AnalysisSession
+
+    sess_a = AnalysisSession(
+        trace_a, config=config, cache_dir=cache_dir, parallel=parallel
+    )
+    sess_b = AnalysisSession(
+        trace_b, config=config, cache_dir=cache_dir, parallel=parallel
+    )
+    a = sess_a.analysis(function=dominant)
+    b = sess_b.analysis(function=dominant)
     return compare_analyses(a, b, **kwargs)

@@ -11,6 +11,13 @@ Ties together the three steps of the paper's methodology (Section III):
 
 plus the automatic detection layer (:mod:`repro.core.imbalance`,
 :mod:`repro.core.variation`) that makes the guidance testable.
+
+Since the session refactor, :func:`analyze_trace` is a thin facade over
+:class:`repro.core.session.AnalysisSession`: every product is a
+memoized stage, so :meth:`VariationAnalysis.refined` and
+:meth:`VariationAnalysis.at_function` are pure cache hits on the replay
+and profile stages, and a ``cache_dir`` makes the reuse persistent
+across processes.
 """
 
 from __future__ import annotations
@@ -19,13 +26,11 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..profiles.profile import TraceProfile, profile_trace
-from ..profiles.replay import replay_trace
+from ..profiles.profile import TraceProfile
 from ..trace.definitions import Paradigm
 from ..trace.trace import Trace
-from ..trace.validate import validate_trace
 from .classify import SyncClassifier, default_classifier
-from .dominant import DominantSelection, select_dominant
+from .dominant import DominantSelection
 from .imbalance import ImbalanceReport, detect_imbalances
 from .segments import Segmentation, segment_trace
 from .sos import SOSResult, compute_sos
@@ -72,6 +77,11 @@ class VariationAnalysis:
     Exposes every intermediate product (profile, dominant selection,
     segmentation, SOS result, detections) plus :meth:`refined` for the
     paper's drill-down workflow and :meth:`heat_matrix` for rendering.
+
+    When constructed by an :class:`~repro.core.session.AnalysisSession`
+    (the default via :func:`analyze_trace`), ``session`` links back to
+    the shared stage cache, so refinement and re-rendering reuse every
+    already-computed product.
     """
 
     def __init__(
@@ -85,6 +95,7 @@ class VariationAnalysis:
         imbalance: ImbalanceReport,
         trend: TrendResult,
         duration_trend: TrendResult,
+        session=None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -95,6 +106,7 @@ class VariationAnalysis:
         self.imbalance = imbalance
         self.trend = trend
         self.duration_trend = duration_trend
+        self.session = session
 
     # -- convenience accessors -------------------------------------------
 
@@ -122,24 +134,34 @@ class VariationAnalysis:
         self, bins: int = 512, normalize: bool = False
     ) -> tuple[np.ndarray, np.ndarray]:
         """Time-binned SOS matrix for heat-map rendering."""
+        if self.session is not None:
+            return self.session.heat_matrix(
+                self.selection.region,
+                bins=bins,
+                normalize=normalize,
+                classifier=self.config.classifier,
+            )
         return binned_matrix(self.sos, bins=bins, normalize=normalize)
 
     # -- refinement -------------------------------------------------------
+
+    def _with_selection(self, selection: DominantSelection) -> "VariationAnalysis":
+        if self.session is not None:
+            return self.session.analysis_for(selection)
+        return _run(self.trace, self.config, self.profile, selection)
 
     def refined(self, steps: int = 1) -> "VariationAnalysis":
         """Re-run steps 2+3 with a finer dominant function.
 
         Mirrors Section VII-B: "by choosing a function with a smaller
         inclusive time we achieve a more fine-grained segmentation".
-        The expensive replay is reused.
+        The expensive replay is reused (a pure session cache hit).
         """
-        selection = self.selection.refined(steps)
-        return _run(self.trace, self.config, self.profile, selection)
+        return self._with_selection(self.selection.refined(steps))
 
     def at_function(self, name: str) -> "VariationAnalysis":
         """Re-segment using the named candidate function."""
-        selection = self.selection.at_function(name)
-        return _run(self.trace, self.config, self.profile, selection)
+        return self._with_selection(self.selection.at_function(name))
 
     # -- reporting ----------------------------------------------------------
 
@@ -187,9 +209,30 @@ def _run(
 
 
 def analyze_trace(
-    trace: Trace, config: AnalysisConfig | None = None
+    trace: Trace,
+    config: AnalysisConfig | None = None,
+    *,
+    session=None,
+    cache_dir=None,
+    parallel: bool | int | None = None,
 ) -> VariationAnalysis:
     """Run the full performance-variation analysis on ``trace``.
+
+    A facade over :class:`repro.core.session.AnalysisSession`: a fresh
+    session is created (and linked to the result for ``refined()`` /
+    ``at_function()`` reuse) unless an existing one is passed.
+
+    Parameters
+    ----------
+    session:
+        Reuse an existing session (its trace/config win; passing a
+        different ``trace`` or ``config`` alongside is an error).
+    cache_dir:
+        Persist stage artifacts under this directory so later sessions
+        over the same trace skip replay and profiling entirely.
+    parallel:
+        Per-rank replay parallelism (see
+        :func:`repro.profiles.replay.replay_trace`).
 
     Raises
     ------
@@ -197,19 +240,15 @@ def analyze_trace(
         If the trace fails structural validation, or if no
         dominant-function candidate exists.
     """
-    if config is None:
-        config = AnalysisConfig()
-    if config.validate:
-        validate_trace(trace).raise_if_invalid()
+    from .session import AnalysisSession
 
-    tables = replay_trace(trace)
-    profile = profile_trace(trace, tables)
-    selection = select_dominant(
-        trace,
-        stats=profile.stats,
-        tables=tables,
-        min_invocation_factor=config.min_invocation_factor,
-        candidate_paradigms=config.candidate_paradigms,
-        level=config.level,
+    if session is not None:
+        if session.trace is not trace:
+            raise ValueError("session was created for a different trace")
+        if config is not None and config != session.config:
+            raise ValueError("session already carries a different config")
+        return session.analysis()
+    session = AnalysisSession(
+        trace, config=config, cache_dir=cache_dir, parallel=parallel
     )
-    return _run(trace, config, profile, selection)
+    return session.analysis()

@@ -1,0 +1,634 @@
+"""Lazy, memoizing analysis sessions (the stage-graph substrate).
+
+The paper's workflow is iterative: the analyst refines the dominant
+function (Section VII-B), re-renders views, drills into segments and
+compares runs — and every one of those steps reuses the same expensive
+intermediates.  :class:`AnalysisSession` makes that reuse explicit.
+Each product of the pipeline is a *stage*:
+
+.. code-block:: text
+
+    trace ──▶ replay ──▶ profile ──▶ selection(level)
+                 │                        │
+                 └──▶ segmentation(region)┘
+                           │
+                           ▼
+                  sos(region, classifier) ──▶ detections / trends / heat
+
+Stages are memoized in memory (bounded LRU for the per-region
+products, strong references for replay/profile which everything needs)
+and, when a ``cache_dir`` is given, persisted as ``.npz`` artifacts
+keyed by the trace's content fingerprint
+(:mod:`repro.trace.fingerprint`).  A second session over the same
+trace — even in a new process — loads replay tables, statistics and
+SOS-times from disk and performs **zero** replay or profile
+recomputation; replayed invocation tables are keyed per rank by the
+rank's event digest, so traces sharing event streams share artifacts.
+
+:func:`repro.core.pipeline.analyze_trace` is a thin facade over this
+class; use a session directly when analysing the same trace more than
+once or when serving repeated queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..profiles.profile import TraceProfile
+from ..profiles.replay import InvocationTable, match_invocations, replay_trace
+from ..profiles.stats import FunctionStatistics, compute_statistics
+from ..trace.fingerprint import TraceFingerprint, fingerprint_trace
+from ..trace.trace import Trace
+from ..trace.validate import validate_trace
+from .classify import SyncClassifier
+from .dominant import DominantSelection, select_dominant
+from .imbalance import ImbalanceReport, detect_imbalances
+from .segments import RankSegments, Segmentation, segment_trace
+from .sos import RankSOS, SOSResult, compute_sos
+from .variation import TrendResult, binned_matrix, detect_trend
+
+__all__ = ["AnalysisSession", "ArtifactCache", "CacheInfo", "SessionStats"]
+
+_MISS = object()
+
+#: InvocationTable columns in serialisation order.
+_TABLE_COLUMNS = (
+    "region",
+    "t_enter",
+    "t_leave",
+    "inclusive",
+    "exclusive",
+    "depth",
+    "parent",
+    "outermost",
+    "enter_index",
+    "leave_index",
+)
+
+#: Integral/bool columns to restore after the float64 round-trip.
+_TABLE_DTYPES = {
+    "region": np.int32,
+    "depth": np.int64,
+    "parent": np.int64,
+    "outermost": np.bool_,
+    "enter_index": np.int64,
+    "leave_index": np.int64,
+}
+
+
+def _table_to_arrays(table: InvocationTable) -> dict[str, np.ndarray]:
+    """Pack a table into one float64 matrix.
+
+    ``.npz`` loading pays a fixed zip-member + header cost per array;
+    one (columns × rows) matrix per rank keeps warm loads fast.  Every
+    column (ids, indices, bools, times) is exactly representable in
+    float64.
+    """
+    data = np.empty((len(_TABLE_COLUMNS), len(table)), dtype=np.float64)
+    for i, name in enumerate(_TABLE_COLUMNS):
+        data[i] = getattr(table, name)
+    return {"table": data}
+
+
+def _table_from_arrays(arrays: dict[str, np.ndarray]) -> InvocationTable:
+    data = arrays["table"]
+    cols = {}
+    for i, name in enumerate(_TABLE_COLUMNS):
+        dtype = _TABLE_DTYPES.get(name)
+        cols[name] = data[i].astype(dtype) if dtype else data[i].copy()
+    return InvocationTable(**cols)
+
+
+class _LRU:
+    """Tiny bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("LRU size must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        if key not in self._data:
+            return _MISS
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class SessionStats:
+    """Counters of stage activity, for tests, benchmarks and ``cache info``.
+
+    ``computed`` counts actual stage executions (for ``replay``, one per
+    replayed rank); ``memory_hits``/``disk_hits`` count avoided ones.
+    """
+
+    computed: dict[str, int] = field(default_factory=dict)
+    memory_hits: dict[str, int] = field(default_factory=dict)
+    disk_hits: dict[str, int] = field(default_factory=dict)
+    disk_writes: dict[str, int] = field(default_factory=dict)
+
+    def _bump(self, bucket: dict[str, int], stage: str, n: int = 1) -> None:
+        bucket[stage] = bucket.get(stage, 0) + n
+
+    def total_computed(self, stage: str) -> int:
+        return self.computed.get(stage, 0)
+
+    def describe(self) -> str:
+        stages = sorted(
+            set(self.computed) | set(self.memory_hits) | set(self.disk_hits)
+        )
+        lines = [f"{'stage':<14}{'computed':>10}{'mem hits':>10}{'disk hits':>10}"]
+        for stage in stages:
+            lines.append(
+                f"{stage:<14}{self.computed.get(stage, 0):>10}"
+                f"{self.memory_hits.get(stage, 0):>10}"
+                f"{self.disk_hits.get(stage, 0):>10}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class CacheInfo:
+    """Summary of one on-disk artifact cache."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def format(self) -> str:
+        mb = self.total_bytes / 1e6
+        return f"{self.root}: {self.entries} artifacts, {mb:.2f} MB"
+
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class ArtifactCache:
+    """Flat on-disk store of ``.npz`` artifacts, keyed by digest strings.
+
+    Writes are atomic (temp file + rename) so concurrent sessions over
+    the same cache directory never observe half-written artifacts;
+    unreadable or corrupt files are treated as misses.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"invalid artifact key {key!r}")
+        return self.root / f"{key}.npz"
+
+    def load(self, key: str) -> dict[str, np.ndarray] | None:
+        """Arrays stored under ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                return {name: npz[name] for name in npz.files}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+
+    def store(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Persist ``arrays`` under ``key`` (atomic overwrite)."""
+        path = self._path(key)
+        tmp = self.root / f"{key}.{os.getpid()}.tmp.npz"
+        try:
+            with open(tmp, "wb") as fp:
+                np.savez(fp, **arrays)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on failed replace
+                tmp.unlink()
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.npz"))
+
+    def info(self) -> CacheInfo:
+        paths = list(self.root.glob("*.npz"))
+        return CacheInfo(
+            root=str(self.root),
+            entries=len(paths),
+            total_bytes=sum(p.stat().st_size for p in paths),
+        )
+
+    def clear(self) -> int:
+        """Delete all artifacts; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class AnalysisSession:
+    """Shared, lazily-evaluated analysis state for one trace.
+
+    Parameters
+    ----------
+    trace:
+        The trace under analysis.
+    config:
+        Pipeline knobs (:class:`~repro.core.pipeline.AnalysisConfig`);
+        defaults match :func:`~repro.core.pipeline.analyze_trace`.
+    cache_dir:
+        Directory for persistent ``.npz`` artifacts.  ``None`` keeps
+        everything in memory only.
+    parallel:
+        Replay parallelism, forwarded to
+        :func:`repro.profiles.replay.replay_trace`.
+    memory_entries:
+        Bound of the in-memory LRU holding per-region products
+        (segmentations, SOS results, detections, trends, heat grids).
+
+    Examples
+    --------
+    ::
+
+        session = AnalysisSession(trace, cache_dir="~/.cache/repro")
+        analysis = session.analysis()          # cold: replays + profiles
+        finer = analysis.refined()             # warm: pure cache hits
+        pinned = session.analysis(function="specs_microphysics")
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config=None,
+        cache_dir: str | os.PathLike | None = None,
+        parallel: bool | int | None = None,
+        memory_entries: int = 128,
+    ) -> None:
+        from .pipeline import AnalysisConfig  # deferred: pipeline imports us
+
+        self.trace = trace
+        self.config = config if config is not None else AnalysisConfig()
+        self.parallel = parallel
+        self.cache = (
+            ArtifactCache(os.path.expanduser(str(cache_dir)))
+            if cache_dir is not None
+            else None
+        )
+        self.stats = SessionStats()
+        self._memo = _LRU(memory_entries)
+        self._fingerprint: TraceFingerprint | None = None
+        self._tables: dict[int, InvocationTable] | None = None
+        self._profile: TraceProfile | None = None
+        self._validated = False
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> TraceFingerprint:
+        """Content fingerprint of the trace (computed once)."""
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_trace(self.trace)
+        return self._fingerprint
+
+    def _classifier_key(self, classifier: SyncClassifier) -> str:
+        return _digest(repr(classifier))
+
+    # -- generic stage runner ------------------------------------------
+
+    def _stage(
+        self,
+        stage: str,
+        key: tuple,
+        compute: Callable[[], Any],
+        disk_key: str | None = None,
+        to_arrays: Callable[[Any], dict[str, np.ndarray]] | None = None,
+        from_arrays: Callable[[dict[str, np.ndarray]], Any] | None = None,
+    ) -> Any:
+        memo_key = (stage, *key)
+        value = self._memo.get(memo_key)
+        if value is not _MISS:
+            self.stats._bump(self.stats.memory_hits, stage)
+            return value
+        if disk_key is not None and self.cache is not None:
+            arrays = self.cache.load(disk_key)
+            if arrays is not None:
+                value = from_arrays(arrays)
+                self.stats._bump(self.stats.disk_hits, stage)
+                self._memo.put(memo_key, value)
+                return value
+        value = compute()
+        self.stats._bump(self.stats.computed, stage)
+        if disk_key is not None and self.cache is not None:
+            self.cache.store(disk_key, to_arrays(value))
+            self.stats._bump(self.stats.disk_writes, stage)
+        self._memo.put(memo_key, value)
+        return value
+
+    # -- replay / profile ----------------------------------------------
+
+    def replay(self) -> dict[int, InvocationTable]:
+        """Invocation tables for every rank (stage ``replay``).
+
+        Tables are cached per rank under the rank's event digest, so a
+        warm cache performs no matching at all and traces that share
+        event streams (merges, filtered copies) share artifacts.
+        """
+        if self._tables is not None:
+            self.stats._bump(self.stats.memory_hits, "replay")
+            return self._tables
+        ranks = self.trace.ranks
+        tables: dict[int, InvocationTable] = {}
+        missing: list[int] = []
+        if self.cache is not None:
+            for rank, digest in self.fingerprint.per_rank:
+                arrays = self.cache.load(f"inv-{digest}")
+                if arrays is None or "table" not in arrays:
+                    missing.append(rank)
+                    continue
+                tables[rank] = _table_from_arrays(arrays)
+                self.stats._bump(self.stats.disk_hits, "replay")
+        else:
+            missing = list(ranks)
+        if missing:
+            if len(missing) == len(ranks):
+                computed = replay_trace(self.trace, parallel=self.parallel)
+            else:
+                computed = {
+                    rank: match_invocations(self.trace.events_of(rank))
+                    for rank in missing
+                }
+            self.stats._bump(self.stats.computed, "replay", len(missing))
+            for rank in missing:
+                tables[rank] = computed[rank]
+                if self.cache is not None:
+                    digest = self.fingerprint.rank_digest(rank)
+                    self.cache.store(
+                        f"inv-{digest}", _table_to_arrays(computed[rank])
+                    )
+                    self.stats._bump(self.stats.disk_writes, "replay")
+        self._tables = {rank: tables[rank] for rank in ranks}
+        return self._tables
+
+    def profile(self) -> TraceProfile:
+        """Aggregated profile (stage ``profile``); statistics are
+        disk-cached so a warm profile never re-aggregates."""
+        if self._profile is not None:
+            self.stats._bump(self.stats.memory_hits, "profile")
+            return self._profile
+        tables = self.replay()
+        stats = self._stage(
+            "stats",
+            (),
+            compute=lambda: compute_statistics(self.trace, tables),
+            disk_key=f"stats-{self.fingerprint.hexdigest}",
+            to_arrays=lambda s: s.to_arrays(),
+            from_arrays=lambda arrays: FunctionStatistics.from_arrays(
+                self.trace, arrays
+            ),
+        )
+        self._profile = TraceProfile(self.trace, tables, stats)
+        return self._profile
+
+    # -- selection ------------------------------------------------------
+
+    def selection(self, level: int | None = None) -> DominantSelection:
+        """Dominant-function selection at ``level`` (stage ``selection``)."""
+        cfg = self.config
+        lvl = cfg.level if level is None else level
+        key = (cfg.min_invocation_factor, cfg.candidate_paradigms, lvl)
+        return self._stage(
+            "selection",
+            key,
+            compute=lambda: select_dominant(
+                self.trace,
+                stats=self.profile().stats,
+                min_invocation_factor=cfg.min_invocation_factor,
+                candidate_paradigms=cfg.candidate_paradigms,
+                level=lvl,
+            ),
+        )
+
+    # -- per-region products -------------------------------------------
+
+    def segmentation(self, region: int) -> Segmentation:
+        """Segments of the ``region`` invocations (stage ``segmentation``)."""
+        return self._stage(
+            "segmentation",
+            (region,),
+            compute=lambda: segment_trace(self.replay(), region),
+        )
+
+    def _sos_to_arrays(self, sos: SOSResult) -> dict[str, np.ndarray]:
+        # One concatenated (4, total-segments) matrix plus per-rank
+        # segment counts: three zip members regardless of rank count.
+        blocks = []
+        counts = []
+        for rank in sos.ranks:
+            seg = sos.segmentation[rank]
+            per = sos[rank]
+            blocks.append(
+                np.stack(
+                    [
+                        seg.t_start,
+                        seg.t_stop,
+                        seg.invocation_row.astype(np.float64),
+                        per.sync_time,
+                    ]
+                )
+            )
+            counts.append(len(seg.t_start))
+        data = (
+            np.concatenate(blocks, axis=1)
+            if blocks
+            else np.empty((4, 0), dtype=np.float64)
+        )
+        return {
+            "ranks": np.asarray(sos.ranks, dtype=np.int64),
+            "counts": np.asarray(counts, dtype=np.int64),
+            "data": data,
+        }
+
+    def _sos_from_arrays(
+        self, region: int, classifier: SyncClassifier, arrays: dict[str, np.ndarray]
+    ) -> SOSResult:
+        per_seg: dict[int, RankSegments] = {}
+        per_rank: dict[int, RankSOS] = {}
+        data = arrays["data"]
+        offsets = np.concatenate(([0], np.cumsum(arrays["counts"])))
+        for i, rank in enumerate(arrays["ranks"].tolist()):
+            block = data[:, offsets[i] : offsets[i + 1]]
+            seg = RankSegments(
+                rank=rank,
+                t_start=block[0].copy(),
+                t_stop=block[1].copy(),
+                invocation_row=block[2].astype(np.int64),
+            )
+            sync_time = block[3].copy()
+            duration = seg.duration
+            per_seg[rank] = seg
+            per_rank[rank] = RankSOS(
+                rank=rank,
+                duration=duration,
+                sync_time=sync_time,
+                sos=duration - sync_time,
+            )
+        segmentation = Segmentation(region, per_seg)
+        # Keep the segmentation stage coherent with the restored object.
+        self._memo.put(("segmentation", region), segmentation)
+        return SOSResult(segmentation, per_rank, classifier)
+
+    def sos(self, region: int, classifier: SyncClassifier | None = None) -> SOSResult:
+        """SOS-times for segments of ``region`` (stage ``sos``)."""
+        cls = self.config.classifier if classifier is None else classifier
+        disk_key = (
+            f"sos-{self.fingerprint.hexdigest}"
+            f"-{region}-{self._classifier_key(cls)}"
+        )
+        return self._stage(
+            "sos",
+            (region, cls),
+            compute=lambda: compute_sos(
+                self.trace, self.segmentation(region), self.replay(), cls
+            ),
+            disk_key=disk_key,
+            to_arrays=self._sos_to_arrays,
+            from_arrays=lambda arrays: self._sos_from_arrays(region, cls, arrays),
+        )
+
+    def detections(
+        self, region: int, classifier: SyncClassifier | None = None
+    ) -> ImbalanceReport:
+        """Hot-rank / hot-segment detections (stage ``detections``)."""
+        cfg = self.config
+        cls = cfg.classifier if classifier is None else classifier
+        key = (
+            region,
+            cls,
+            cfg.rank_threshold,
+            cfg.segment_threshold,
+            cfg.min_relative_excess,
+            cfg.max_findings,
+        )
+        return self._stage(
+            "detections",
+            key,
+            compute=lambda: detect_imbalances(
+                self.sos(region, cls),
+                rank_threshold=cfg.rank_threshold,
+                segment_threshold=cfg.segment_threshold,
+                min_relative_excess=cfg.min_relative_excess,
+                max_findings=cfg.max_findings,
+            ),
+        )
+
+    def trend(
+        self,
+        region: int,
+        classifier: SyncClassifier | None = None,
+        use_plain_duration: bool = False,
+    ) -> TrendResult:
+        """Temporal trend of SOS (or plain) durations (stage ``trend``)."""
+        cls = self.config.classifier if classifier is None else classifier
+        return self._stage(
+            "trend",
+            (region, cls, use_plain_duration),
+            compute=lambda: detect_trend(
+                self.sos(region, cls), use_plain_duration=use_plain_duration
+            ),
+        )
+
+    def heat_matrix(
+        self,
+        region: int,
+        bins: int = 512,
+        normalize: bool = False,
+        classifier: SyncClassifier | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Time-binned SOS matrix for heat-map rendering (stage ``heat``)."""
+        cls = self.config.classifier if classifier is None else classifier
+        return self._stage(
+            "heat",
+            (region, cls, bins, normalize),
+            compute=lambda: binned_matrix(
+                self.sos(region, cls), bins=bins, normalize=normalize
+            ),
+        )
+
+    # -- assembled analyses --------------------------------------------
+
+    def _ensure_valid(self) -> None:
+        if not self.config.validate or self._validated:
+            return
+        # Validity is a pure function of content, so a marker artifact
+        # keyed by the fingerprint lets warm sessions skip the scan.
+        marker = f"valid-{self.fingerprint.hexdigest}"
+        if self.cache is not None and self.cache.load(marker) is not None:
+            self.stats._bump(self.stats.disk_hits, "validate")
+            self._validated = True
+            return
+        validate_trace(self.trace).raise_if_invalid()
+        self.stats._bump(self.stats.computed, "validate")
+        if self.cache is not None:
+            self.cache.store(marker, {"ok": np.ones(1, dtype=np.int8)})
+            self.stats._bump(self.stats.disk_writes, "validate")
+        self._validated = True
+
+    def analysis_for(self, selection: DominantSelection):
+        """Assemble a :class:`VariationAnalysis` for an explicit selection.
+
+        Every constituent is a stage lookup, so repeated calls (the
+        ``refined()``/``at_function()`` loop) only compute what changed.
+        """
+        from .pipeline import VariationAnalysis
+
+        region = selection.region
+        sos = self.sos(region)
+        return VariationAnalysis(
+            trace=self.trace,
+            config=self.config,
+            profile=self.profile(),
+            selection=selection,
+            segmentation=sos.segmentation,
+            sos=sos,
+            imbalance=self.detections(region),
+            trend=self.trend(region),
+            duration_trend=self.trend(region, use_plain_duration=True),
+            session=self,
+        )
+
+    def analysis(self, level: int | None = None, function: str | None = None):
+        """Full analysis at ``level``, optionally pinned to ``function``.
+
+        Equivalent to :func:`repro.core.pipeline.analyze_trace` followed
+        by :meth:`~repro.core.pipeline.VariationAnalysis.at_function`,
+        but every product is memoized in this session.
+        """
+        self._ensure_valid()
+        selection = self.selection(level=level)
+        if function is not None:
+            selection = selection.at_function(function)
+        return self.analysis_for(selection)
+
+    def cache_info(self) -> CacheInfo | None:
+        """Disk-cache summary, or None when running memory-only."""
+        return self.cache.info() if self.cache is not None else None

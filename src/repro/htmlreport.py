@@ -5,6 +5,13 @@ segment) and the raster views (timeline, activity shares, counters)
 into a single HTML file with no external assets — the shareable
 artifact of an analysis session, standing in for a Vampir screenshot
 plus notes.
+
+All views are fed from the analysis' single set of invocation tables
+(``analysis.profile.tables``); when the analysis came from an
+:class:`~repro.core.session.AnalysisSession` those tables, the SOS
+result and the heat grid are session-memoized, so rendering a report
+after an ``analyze`` run recomputes nothing and the report carries the
+trace's content fingerprint for provenance.
 """
 
 from __future__ import annotations
@@ -128,15 +135,18 @@ def render_html_report(
         title = f"Performance-variation report — {trace.name}"
 
     mpi_share = analysis.profile.paradigm_share(Paradigm.MPI)
+    session = getattr(analysis, "session", None)
     sections: list[str] = []
     sections.append(f"<h1>{html.escape(title)}</h1>")
-    sections.append(
-        '<p class="meta">'
+    meta = (
         f"{trace.num_processes} processes · {trace.num_events} events · "
         f"duration {trace.duration:.6g}s · MPI share "
         f"{100 * mpi_share:.1f}% · dominant function "
-        f"<code>{html.escape(analysis.dominant_name)}</code></p>"
+        f"<code>{html.escape(analysis.dominant_name)}</code>"
     )
+    if session is not None:
+        meta += f" · trace fingerprint <code>{session.fingerprint.short()}</code>"
+    sections.append(f'<p class="meta">{meta}</p>')
 
     sections.append("<h2>Findings</h2>")
     sections.append(_findings_section(analysis))

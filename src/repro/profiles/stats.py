@@ -72,6 +72,38 @@ class FunctionStatistics:
             np.minimum.at(self.inclusive_min, table.region, table.inclusive)
             np.maximum.at(self.inclusive_max, table.region, table.inclusive)
 
+    _COLUMNS = (
+        "count",
+        "inclusive_sum",
+        "exclusive_sum",
+        "inclusive_min",
+        "inclusive_max",
+    )
+
+    @classmethod
+    def from_arrays(
+        cls, trace: Trace, arrays: dict[str, np.ndarray]
+    ) -> "FunctionStatistics":
+        """Rebuild statistics from previously exported column arrays.
+
+        Used by the artifact cache (:mod:`repro.core.session`) to
+        restore a profile without touching the invocation tables.
+        """
+        self = object.__new__(cls)
+        self._trace = trace
+        for name in cls._COLUMNS:
+            setattr(self, name, np.asarray(arrays[name]))
+        if len(self.count) != len(trace.regions):
+            raise ValueError(
+                f"statistics cover {len(self.count)} regions, trace defines "
+                f"{len(trace.regions)}"
+            )
+        return self
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Column arrays for :meth:`from_arrays` (cache serialisation)."""
+        return {name: getattr(self, name) for name in self._COLUMNS}
+
     @property
     def num_regions(self) -> int:
         return len(self.count)

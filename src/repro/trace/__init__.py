@@ -29,6 +29,12 @@ from .definitions import (
 )
 from .events import Event, EventKind, EventList, EventListBuilder, NO_PARTNER, NO_REF
 from .filters import clip_trace, filter_regions, select_ranks
+from .fingerprint import (
+    TraceFingerprint,
+    fingerprint_definitions,
+    fingerprint_events,
+    fingerprint_trace,
+)
 from .merge import merge_traces
 from .reader import read_jsonl, read_trace
 from .trace import ProcessTrace, Trace
@@ -54,11 +60,15 @@ __all__ = [
     "RegionRole",
     "Trace",
     "TraceBuilder",
+    "TraceFingerprint",
     "ValidationIssue",
     "ValidationReport",
     "clip_trace",
     "default_role",
     "filter_regions",
+    "fingerprint_definitions",
+    "fingerprint_events",
+    "fingerprint_trace",
     "merge_traces",
     "read_binary",
     "read_jsonl",

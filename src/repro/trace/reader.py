@@ -35,7 +35,7 @@ def load_jsonl(fp: IO[str]) -> Trace:
     if not header_line:
         raise TraceFormatError("empty trace file")
     header = json.loads(header_line)
-    if header.get("record") != "header":
+    if not isinstance(header, dict) or header.get("record") != "header":
         raise TraceFormatError("first record must be the header")
     if header.get("version") != FORMAT_VERSION:
         raise TraceFormatError(
@@ -52,6 +52,8 @@ def load_jsonl(fp: IO[str]) -> Trace:
         if not line:
             continue
         record = json.loads(line)
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"non-object record: {line[:40]!r}")
         kind = record.get("record")
         if kind == "region":
             regions.add(

@@ -178,6 +178,96 @@ class TestCompareAndHtml:
                      "--iterations", "3", "-o", str(out)]) == 0
         assert main(["validate", str(out)]) == 0
 
+class TestVersionAndBadInput:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip().split(".")  # dotted version string
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["info", "{p}"],
+            ["validate", "{p}"],
+            ["profile", "{p}"],
+            ["analyze", "{p}"],
+            ["render", "{p}", "-o", "/tmp/out"],
+            ["convert", "{p}", "-o", "/tmp/out.jsonl"],
+            ["baselines", "{p}"],
+            ["explain", "{p}"],
+        ],
+    )
+    def test_missing_input_exit_code(self, argv, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.rpt"
+        argv = [a.format(p=missing) for a in argv]
+        assert main(argv) == 2
+        assert "does-not-exist" in capsys.readouterr().err
+
+    def test_compare_missing_input(self, trace_path, tmp_path, capsys):
+        missing = tmp_path / "nope.rpt"
+        assert main(["compare", str(trace_path), str(missing)]) == 2
+        assert capsys.readouterr().err
+
+    def test_directory_as_input(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path)]) == 2
+
+    def test_garbage_bytes_input(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.rpt"
+        bad.write_bytes(b"\x00\x01 definitely not a trace")
+        assert main(["analyze", str(bad)]) == 2
+
+
+class TestSessionCacheCLI:
+    def test_analyze_with_cache_dir(self, trace_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["analyze", str(trace_path), "--cache-dir",
+                     str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
+        assert any(cache.glob("*.npz"))
+        # Second run is warm and must still succeed.
+        assert main(["analyze", str(trace_path), "--cache-dir",
+                     str(cache)]) == 0
+
+    def test_analyze_parallel(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--parallel", "2"]) == 0
+
+    def test_analyze_parallel_zero_rejected(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--parallel", "0"]) == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_render_with_cache_dir(self, trace_path, tmp_path):
+        cache = tmp_path / "cache"
+        out = tmp_path / "views"
+        assert main(["render", str(trace_path), "-o", str(out),
+                     "--cache-dir", str(cache)]) == 0
+        assert (out / "timeline.png").exists()
+        assert any(cache.glob("inv-*.npz"))
+
+    def test_cache_info_and_clear(self, trace_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["analyze", str(trace_path), "--cache-dir", str(cache)])
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        assert "artifacts" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not any(cache.glob("*.npz"))
+
+    def test_cache_info_missing_dir(self, tmp_path, capsys):
+        assert main(["cache", "info", "--cache-dir",
+                     str(tmp_path / "never-created")]) == 0
+        assert "no cache" in capsys.readouterr().out
+
+    def test_baselines_with_cache(self, trace_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["baselines", str(trace_path), "--cache-dir",
+                     str(cache)]) == 0
+        assert "profile-only" in capsys.readouterr().out
+
+
+class TestMonitor:
     def test_monitor_command(self, tmp_path, capsys):
         from repro.sim.workloads.synthetic import SyntheticConfig, generate
         from repro.trace import write_binary

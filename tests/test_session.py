@@ -1,0 +1,331 @@
+"""Tests for AnalysisSession, artifact caching and trace fingerprints.
+
+The acceptance criteria of the session refactor: warm sessions produce
+results array-equal to a fresh eager analysis (including after
+refinement), a warm disk cache performs zero replay/profile
+recomputation, and fingerprints are stable under codec round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnalysisSession, analyze_trace
+from repro.core.classify import SyncClassifier
+from repro.core.session import ArtifactCache, SessionStats, _LRU
+from repro.profiles import replay_trace
+from repro.trace import read_trace, write_binary, write_jsonl
+from repro.trace.builder import TraceBuilder
+from repro.trace.definitions import Paradigm
+from repro.trace.fingerprint import (
+    fingerprint_definitions,
+    fingerprint_events,
+    fingerprint_trace,
+)
+
+
+@st.composite
+def small_trace(draw):
+    """A tiny SPMD trace with drawn per-rank compute times."""
+    p = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=4))
+    durations = [
+        [draw(st.floats(min_value=0.01, max_value=1.0)) for _ in range(n)]
+        for _ in range(p)
+    ]
+    tb = TraceBuilder(name="fp")
+    tb.region("main")
+    tb.region("iter")
+    tb.region("calc")
+    tb.region("MPI_Allreduce", paradigm=Paradigm.MPI)
+    for rank in range(p):
+        tb.process(rank).enter(0.0, "main")
+    t = 0.0
+    for it in range(n):
+        t_next = t + max(durations[r][it] for r in range(p)) + 0.1
+        for rank in range(p):
+            pb = tb.process(rank)
+            pb.enter(t, "iter")
+            pb.call(t, t + durations[rank][it], "calc")
+            pb.call(t + durations[rank][it], t_next, "MPI_Allreduce")
+            pb.leave(t_next, "iter")
+        t = t_next
+    for rank in range(p):
+        tb.process(rank).leave(t, "main")
+    return tb.freeze()
+
+
+def _assert_analyses_equal(a, b):
+    """Array-level equivalence of two VariationAnalysis results."""
+    assert a.dominant_name == b.dominant_name
+    assert a.selection.level == b.selection.level
+    np.testing.assert_array_equal(a.sos.matrix(), b.sos.matrix())
+    np.testing.assert_array_equal(
+        a.sos.per_rank_total(), b.sos.per_rank_total()
+    )
+    for rank in a.trace.ranks:
+        sa, sb = a.segmentation[rank], b.segmentation[rank]
+        np.testing.assert_array_equal(sa.t_start, sb.t_start)
+        np.testing.assert_array_equal(sa.t_stop, sb.t_stop)
+        ta, tb = a.profile.tables[rank], b.profile.tables[rank]
+        np.testing.assert_array_equal(ta.region, tb.region)
+        np.testing.assert_array_equal(ta.inclusive, tb.inclusive)
+        np.testing.assert_array_equal(ta.exclusive, tb.exclusive)
+    ha, _ = a.heat_matrix(bins=32)
+    hb, _ = b.heat_matrix(bins=32)
+    np.testing.assert_array_equal(ha, hb)
+    assert a.hot_ranks() == b.hot_ranks()
+    assert a.hot_segments() == b.hot_segments()
+    for ra, rb in zip(a.profile.stats.rows(), b.profile.stats.rows()):
+        assert ra.name == rb.name
+        assert ra.count == rb.count
+        np.testing.assert_allclose(ra.inclusive_sum, rb.inclusive_sum)
+
+
+class TestSessionEquivalence:
+    def test_memory_session_matches_eager(self, fig3):
+        eager = analyze_trace(fig3)
+        session = AnalysisSession(fig3)
+        _assert_analyses_equal(session.analysis(), eager)
+
+    def test_warm_disk_session_matches_eager(self, fig3, tmp_path):
+        eager = analyze_trace(fig3)
+        AnalysisSession(fig3, cache_dir=tmp_path / "c").analysis()
+        warm = AnalysisSession(fig3, cache_dir=tmp_path / "c")
+        _assert_analyses_equal(warm.analysis(), eager)
+
+    def test_refined_matches_eager_refined(self, fig3, tmp_path):
+        eager = analyze_trace(fig3)
+        if len(eager.selection.candidates) < 2:
+            pytest.skip("needs a second candidate")
+        warm = AnalysisSession(fig3, cache_dir=tmp_path / "c")
+        warm.analysis()
+        _assert_analyses_equal(
+            warm.analysis().refined(), eager.refined()
+        )
+
+    def test_at_function_matches_eager(self, fig3):
+        eager = analyze_trace(fig3)
+        name = eager.selection.candidates[-1].name
+        session_result = AnalysisSession(fig3).analysis(function=name)
+        _assert_analyses_equal(session_result, eager.at_function(name))
+
+    def test_analyze_trace_links_session(self, fig3):
+        analysis = analyze_trace(fig3)
+        assert analysis.session is not None
+        assert analysis.session.trace is fig3
+
+    def test_analyze_trace_rejects_foreign_session(self, fig3, fig2):
+        session = AnalysisSession(fig3)
+        with pytest.raises(ValueError, match="different trace"):
+            analyze_trace(fig2, session=session)
+
+
+class TestZeroRecomputation:
+    def test_refinement_reuses_replay(self, fig3):
+        session = AnalysisSession(fig3)
+        analysis = session.analysis()
+        replayed = session.stats.total_computed("replay")
+        stats_runs = session.stats.total_computed("stats")
+        analysis.refined()
+        analysis.at_function(analysis.selection.candidates[-1].name)
+        analysis.heat_matrix(bins=64)
+        assert session.stats.total_computed("replay") == replayed
+        assert session.stats.total_computed("stats") == stats_runs
+
+    def test_warm_disk_cache_zero_replay(self, fig3, tmp_path):
+        cache = tmp_path / "cache"
+        cold = AnalysisSession(fig3, cache_dir=cache)
+        cold.analysis()
+        assert cold.stats.total_computed("replay") == len(fig3.ranks)
+        warm = AnalysisSession(fig3, cache_dir=cache)
+        warm.analysis()
+        assert warm.stats.total_computed("replay") == 0
+        assert warm.stats.total_computed("stats") == 0
+        assert warm.stats.total_computed("sos") == 0
+        assert warm.stats.disk_hits["replay"] == len(fig3.ranks)
+
+    def test_repeated_products_are_memory_hits(self, fig3):
+        session = AnalysisSession(fig3)
+        region = session.selection().region
+        first = session.sos(region)
+        assert session.sos(region) is first
+        assert session.stats.memory_hits["sos"] >= 1
+
+    def test_partial_artifact_loss_recomputes_only_missing(
+        self, fig3, tmp_path
+    ):
+        cache = tmp_path / "cache"
+        AnalysisSession(fig3, cache_dir=cache).replay()
+        victim = AnalysisSession(fig3, cache_dir=cache)
+        digest = victim.fingerprint.rank_digest(fig3.ranks[0])
+        (cache / f"inv-{digest}.npz").unlink()
+        tables = victim.replay()
+        assert victim.stats.total_computed("replay") == 1
+        assert set(tables) == set(fig3.ranks)
+
+    def test_classifier_variants_cached_separately(self, fig3, tmp_path):
+        session = AnalysisSession(fig3, cache_dir=tmp_path / "c")
+        region = session.selection().region
+        strict = SyncClassifier(name_patterns=("MPI_Barrier",))
+        a = session.sos(region)
+        b = session.sos(region, classifier=strict)
+        assert a is not b
+        assert session.stats.total_computed("sos") == 2
+
+
+class TestFingerprint:
+    def test_deterministic(self, fig3):
+        assert fingerprint_trace(fig3) == fingerprint_trace(fig3)
+
+    def test_sensitive_to_events(self, tiny_trace, fig3):
+        assert (
+            fingerprint_trace(tiny_trace).hexdigest
+            != fingerprint_trace(fig3).hexdigest
+        )
+
+    def test_ignores_trace_name(self):
+        def build(name):
+            tb = TraceBuilder(name=name)
+            tb.region("main")
+            tb.process(0).call(0.0, 1.0, "main")
+            return tb.freeze()
+
+        # Content addressing: display name never enters the digest.
+        assert fingerprint_trace(build("a")) == fingerprint_trace(build("b"))
+
+    def test_definitions_digest_exposed(self, fig3):
+        fp = fingerprint_trace(fig3)
+        assert fingerprint_definitions(fig3) == fp.definitions
+
+    def test_short_is_prefix(self, fig3):
+        fp = fingerprint_trace(fig3)
+        assert fp.hexdigest.startswith(fp.short())
+
+    @given(small_trace())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_stable(self, tmp_path_factory, trace):
+        """JSONL and binary round-trips preserve the fingerprint."""
+        fp = fingerprint_trace(trace)
+        base = tmp_path_factory.mktemp("fp")
+        jsonl = base / "t.jsonl"
+        binary = base / "t.rpt"
+        write_jsonl(trace, jsonl)
+        write_binary(trace, binary)
+        assert fingerprint_trace(read_trace(jsonl)) == fp
+        assert fingerprint_trace(read_trace(binary)) == fp
+
+    def test_per_rank_digests_match_events(self, fig3):
+        fp = fingerprint_trace(fig3)
+        for rank, digest in fp.per_rank:
+            assert fingerprint_events(fig3.events_of(rank)) == digest
+
+
+class TestParallelReplay:
+    def test_parallel_equals_serial(self, fig3):
+        serial = replay_trace(fig3)
+        parallel = replay_trace(fig3, parallel=True)
+        assert list(serial) == list(parallel)
+        for rank in serial:
+            np.testing.assert_array_equal(
+                serial[rank].t_enter, parallel[rank].t_enter
+            )
+            np.testing.assert_array_equal(
+                serial[rank].exclusive, parallel[rank].exclusive
+            )
+
+    def test_explicit_worker_count(self, fig3):
+        tables = replay_trace(fig3, parallel=2)
+        assert set(tables) == set(fig3.ranks)
+
+    def test_invalid_worker_count(self, fig3):
+        with pytest.raises(ValueError):
+            replay_trace(fig3, parallel=0)
+
+    def test_session_parallel_matches(self, fig3):
+        a = AnalysisSession(fig3).analysis()
+        b = AnalysisSession(fig3, parallel=True).analysis()
+        np.testing.assert_array_equal(a.sos.matrix(), b.sos.matrix())
+
+
+class TestArtifactCache:
+    def test_store_load_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("abc-1", {"x": np.arange(5), "y": np.zeros(2)})
+        loaded = cache.load("abc-1")
+        np.testing.assert_array_equal(loaded["x"], np.arange(5))
+        assert cache.keys() == ["abc-1"]
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ArtifactCache(tmp_path).load("nope") is None
+
+    def test_corrupt_artifact_is_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("bad", {"x": np.arange(3)})
+        (tmp_path / "bad.npz").write_bytes(b"not a zipfile")
+        assert cache.load("bad") is None
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.store("../escape", {"x": np.arange(1)})
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("k1", {"x": np.arange(10)})
+        cache.store("k2", {"x": np.arange(10)})
+        info = cache.info()
+        assert info.entries == 2
+        assert info.total_bytes > 0
+        assert "2 artifacts" in info.format()
+        assert cache.clear() == 2
+        assert cache.info().entries == 0
+
+    def test_session_cache_info(self, fig3, tmp_path):
+        session = AnalysisSession(fig3, cache_dir=tmp_path / "c")
+        assert session.cache_info().entries == 0
+        session.analysis()
+        assert session.cache_info().entries > 0
+        assert AnalysisSession(fig3).cache_info() is None
+
+
+class TestLRUAndStats:
+    def test_lru_evicts_oldest(self):
+        lru = _LRU(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")
+        lru.put("c", 3)  # evicts b (least recently used)
+        assert lru.get("b") is not lru.get("a")
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        assert len(lru) == 2
+
+    def test_lru_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            _LRU(0)
+
+    def test_bounded_session_memo_still_correct(self, fig3):
+        session = AnalysisSession(fig3, memory_entries=2)
+        analysis = session.analysis()
+        refined = analysis.refined() if len(
+            analysis.selection.candidates
+        ) > 1 else analysis
+        # Evictions may force recomputation but never wrong results.
+        again = session.analysis()
+        np.testing.assert_array_equal(
+            analysis.sos.matrix(), again.sos.matrix()
+        )
+        assert refined.dominant_name
+
+    def test_stats_describe_lists_stages(self, fig3):
+        session = AnalysisSession(fig3)
+        session.analysis()
+        text = session.stats.describe()
+        assert "replay" in text
+        assert "sos" in text
+
+    def test_fresh_stats_empty(self):
+        stats = SessionStats()
+        assert stats.total_computed("replay") == 0
+        assert stats.describe().count("\n") == 0
