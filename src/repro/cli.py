@@ -70,8 +70,19 @@ def _load_trace(path: str):
         raise CLIError(f"cannot read trace {path}: {err}")
 
 
-def _session(trace, args, config=None):
-    """Build an AnalysisSession honouring --cache-dir/--parallel."""
+def _shard_kwargs(args) -> dict:
+    """Validate and collect --shards/--max-memory-mb."""
+    shards = getattr(args, "shards", None)
+    max_memory_mb = getattr(args, "max_memory_mb", None)
+    if shards is not None and shards < 1:
+        raise CLIError(f"--shards must be >= 1, got {shards}")
+    if max_memory_mb is not None and max_memory_mb <= 0:
+        raise CLIError(f"--max-memory-mb must be > 0, got {max_memory_mb}")
+    return {"shards": shards, "max_memory_mb": max_memory_mb}
+
+
+def _session(trace, args, config=None, source_path=None):
+    """Build an AnalysisSession honouring --cache-dir/--parallel/--shards."""
     from .core.session import AnalysisSession
 
     parallel = getattr(args, "parallel", None)
@@ -82,7 +93,34 @@ def _session(trace, args, config=None):
         config=config,
         cache_dir=getattr(args, "cache_dir", None),
         parallel=parallel,
+        source_path=source_path,
+        **_shard_kwargs(args),
     )
+
+
+def _session_for_path(path: str, args, config=None):
+    """Session over the trace at ``path``.
+
+    Without sharding flags the trace is read eagerly (as before).  With
+    ``--shards``/``--max-memory-mb`` only the file's chunk index is
+    parsed here; worker processes load their own rank groups, so the
+    parent never holds the full event data.
+    """
+    kwargs = _shard_kwargs(args)
+    if kwargs["shards"] is None and kwargs["max_memory_mb"] is None:
+        return _session(_load_trace(path), args, config)
+    from .trace.reader import TraceFormatError
+
+    try:
+        return _session(None, args, config, source_path=path)
+    except FileNotFoundError:
+        raise CLIError(f"trace file not found: {path}")
+    except IsADirectoryError:
+        raise CLIError(f"trace path is a directory: {path}")
+    except (TraceFormatError, ValueError) as err:
+        raise CLIError(f"cannot read trace {path}: {err}")
+    except OSError as err:
+        raise CLIError(f"cannot read trace {path}: {err}")
 
 
 def _add_cache_arg(parser) -> None:
@@ -91,6 +129,21 @@ def _add_cache_arg(parser) -> None:
         default=None,
         help="directory for persistent analysis artifacts (.npz), keyed "
         "by trace content; reused across commands and processes",
+    )
+
+
+def _add_shard_args(parser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the ranks into N groups and analyze them in "
+        "worker processes (results are bitwise identical to the "
+        "single-process pipeline; worker count follows "
+        "REPRO_SHARD_WORKERS or the CPU count)",
+    )
+    parser.add_argument(
+        "--max-memory-mb", type=float, default=None, metavar="MB",
+        help="bound the estimated per-worker working set; raises the "
+        "shard count until each rank group fits",
     )
 
 
@@ -133,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--parallel", type=int, default=None, metavar="N",
                      help="replay ranks with N worker threads")
     _add_cache_arg(ana)
+    _add_shard_args(ana)
 
     prof = sub.add_parser("profile", help="print the flat profile")
     prof.add_argument("trace")
@@ -157,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     base = sub.add_parser("baselines", help="run the baseline analyses")
     base.add_argument("trace")
     _add_cache_arg(base)
+    _add_shard_args(base)
 
     cache = sub.add_parser("cache", help="inspect or clear an artifact cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -196,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="pin both segmentations to this function")
     comp.add_argument("--min-relative-delta", type=float, default=0.25)
     _add_cache_arg(comp)
+    _add_shard_args(comp)
     return parser
 
 
@@ -256,8 +312,10 @@ def _cmd_simulate(args) -> int:
 def _cmd_analyze(args) -> int:
     from .core import AnalysisConfig
 
-    trace = _load_trace(args.trace)
-    session = _session(trace, args, config=AnalysisConfig(level=args.level))
+    session = _session_for_path(
+        args.trace, args, config=AnalysisConfig(level=args.level)
+    )
+    trace = session.trace
     analysis = session.analysis(function=args.function or None)
     print(analysis.report())
     if args.ascii:
@@ -349,8 +407,8 @@ def _cmd_baselines(args) -> int:
         select_representatives,
     )
 
-    trace = _load_trace(args.trace)
-    session = _session(trace, args)
+    session = _session_for_path(args.trace, args)
+    trace = session.trace
 
     print("== profile-only (TAU-style) ==")
     po = analyze_profile_only(session=session)
@@ -441,12 +499,15 @@ def _cmd_monitor(args) -> int:
 def _cmd_compare(args) -> int:
     from .core.compare import compare_traces
 
+    session_a = _session_for_path(args.trace_a, args)
+    session_b = _session_for_path(args.trace_b, args)
     comparison = compare_traces(
-        _load_trace(args.trace_a),
-        _load_trace(args.trace_b),
+        None,
+        None,
         dominant=args.function,
         min_relative_delta=args.min_relative_delta,
-        cache_dir=args.cache_dir,
+        session_a=session_a,
+        session_b=session_b,
     )
     print(comparison.format())
     return 0

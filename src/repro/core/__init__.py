@@ -34,8 +34,9 @@ from .imbalance import (
     robust_zscores,
 )
 from .pipeline import AnalysisConfig, VariationAnalysis, analyze_trace
-from .segments import RankSegments, Segmentation, segment_trace
+from .segments import RankSegments, Segmentation, segment_rank, segment_trace
 from .session import AnalysisSession, ArtifactCache, CacheInfo, SessionStats
+from .shard import ShardEngine, ShardPlan, plan_shards, shard_workers
 from .sos import RankSOS, SOSResult, compute_sos, top_level_sync_mask
 from .variation import (
     TrendResult,
@@ -70,6 +71,8 @@ __all__ = [
     "RankSegments",
     "SOSResult",
     "Segmentation",
+    "ShardEngine",
+    "ShardPlan",
     "SyncClassifier",
     "TrendResult",
     "VariationAnalysis",
@@ -90,11 +93,14 @@ __all__ = [
     "metric_series",
     "metric_sos_correlation",
     "per_rank_metric_total",
+    "plan_shards",
     "rank_candidates",
     "robust_zscores",
     "segment_metric_delta",
+    "segment_rank",
     "segment_trace",
     "select_dominant",
+    "shard_workers",
     "step_series",
     "top_level_sync_mask",
 ]

@@ -173,6 +173,10 @@ def compare_traces(
     dominant: str | None = None,
     cache_dir=None,
     parallel: bool | int | None = None,
+    session_a=None,
+    session_b=None,
+    shards: int | None = None,
+    max_memory_mb: float | None = None,
     **kwargs,
 ) -> RunComparison:
     """Analyze two traces and compare them.
@@ -182,15 +186,25 @@ def compare_traces(
     trace gets its own :class:`~repro.core.session.AnalysisSession`;
     with a shared ``cache_dir`` the reference run's artifacts persist,
     so re-comparing against new candidates replays only the new trace.
+
+    Pre-built sessions may be passed via ``session_a``/``session_b``
+    (their trace wins; the CLI uses this to run sharded comparisons
+    without materialising either trace in the parent process), and
+    ``shards``/``max_memory_mb`` forward to the sharded engine when
+    the sessions are constructed here.
     """
     from .session import AnalysisSession
 
-    sess_a = AnalysisSession(
-        trace_a, config=config, cache_dir=cache_dir, parallel=parallel
-    )
-    sess_b = AnalysisSession(
-        trace_b, config=config, cache_dir=cache_dir, parallel=parallel
-    )
-    a = sess_a.analysis(function=dominant)
-    b = sess_b.analysis(function=dominant)
+    if session_a is None:
+        session_a = AnalysisSession(
+            trace_a, config=config, cache_dir=cache_dir, parallel=parallel,
+            shards=shards, max_memory_mb=max_memory_mb,
+        )
+    if session_b is None:
+        session_b = AnalysisSession(
+            trace_b, config=config, cache_dir=cache_dir, parallel=parallel,
+            shards=shards, max_memory_mb=max_memory_mb,
+        )
+    a = session_a.analysis(function=dominant)
+    b = session_b.analysis(function=dominant)
     return compare_analyses(a, b, **kwargs)

@@ -118,6 +118,21 @@ class VariationAnalysis:
     def dominant_region(self) -> int:
         return self.selection.region
 
+    @property
+    def num_events(self) -> int:
+        """Event total; in sharded path mode ``self.trace`` may be a
+        definitions skeleton, so ask the session for the real count."""
+        if self.session is not None:
+            return self.session.num_events
+        return self.trace.num_events
+
+    @property
+    def duration(self) -> float:
+        """Trace time extent, session-aware like :attr:`num_events`."""
+        if self.session is not None:
+            return self.session.duration
+        return self.trace.duration
+
     def hot_ranks(self) -> list[int]:
         """Ranks flagged by the rank-level detector, hottest first."""
         return [h.rank for h in self.imbalance.hot_ranks]
@@ -209,12 +224,15 @@ def _run(
 
 
 def analyze_trace(
-    trace: Trace,
+    trace: Trace | None,
     config: AnalysisConfig | None = None,
     *,
     session=None,
     cache_dir=None,
     parallel: bool | int | None = None,
+    shards: int | None = None,
+    max_memory_mb: float | None = None,
+    source_path=None,
 ) -> VariationAnalysis:
     """Run the full performance-variation analysis on ``trace``.
 
@@ -233,6 +251,16 @@ def analyze_trace(
     parallel:
         Per-rank replay parallelism (see
         :func:`repro.profiles.replay.replay_trace`).
+    shards, max_memory_mb:
+        Run the memory-bounded multi-process engine
+        (:mod:`repro.core.shard`): partition the ranks into ``shards``
+        groups (raised further until each group's estimated working
+        set fits ``max_memory_mb``) and replay/segment/accumulate them
+        in worker processes.  Results are bitwise identical to the
+        single-process pipeline.
+    source_path:
+        Trace file to shard from; with it, ``trace`` may be ``None``
+        and the parent process never materialises event streams.
 
     Raises
     ------
@@ -243,12 +271,18 @@ def analyze_trace(
     from .session import AnalysisSession
 
     if session is not None:
-        if session.trace is not trace:
+        if session.trace is not trace and trace is not None:
             raise ValueError("session was created for a different trace")
         if config is not None and config != session.config:
             raise ValueError("session already carries a different config")
         return session.analysis()
     session = AnalysisSession(
-        trace, config=config, cache_dir=cache_dir, parallel=parallel
+        trace,
+        config=config,
+        cache_dir=cache_dir,
+        parallel=parallel,
+        shards=shards,
+        max_memory_mb=max_memory_mb,
+        source_path=source_path,
     )
     return session.analysis()

@@ -39,8 +39,8 @@ def format_report(analysis: "VariationAnalysis", max_rows: int = 10) -> str:
     push = lines.append
     push(f"Performance-variation analysis of trace {trace.name!r}")
     push(
-        f"  processes: {trace.num_processes}   events: {trace.num_events}   "
-        f"duration: {_fmt_seconds(trace.duration)}"
+        f"  processes: {len(sos.ranks)}   events: {analysis.num_events}   "
+        f"duration: {_fmt_seconds(analysis.duration)}"
     )
     mpi_share = analysis.profile.paradigm_share(Paradigm.MPI)
     push(f"  MPI time share: {100 * mpi_share:.1f}%")
@@ -93,9 +93,9 @@ def report_dict(analysis: "VariationAnalysis") -> dict:
     totals = analysis.sos.per_rank_total()
     return {
         "trace": analysis.trace.name,
-        "processes": analysis.trace.num_processes,
-        "events": analysis.trace.num_events,
-        "duration": analysis.trace.duration,
+        "processes": len(analysis.sos.ranks),
+        "events": analysis.num_events,
+        "duration": analysis.duration,
         "mpi_share": analysis.profile.paradigm_share(Paradigm.MPI),
         "dominant": {
             "name": sel.name,

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..profiles.replay import InvocationTable
 
-__all__ = ["RankSegments", "Segmentation", "segment_trace"]
+__all__ = ["RankSegments", "Segmentation", "segment_rank", "segment_trace"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +105,27 @@ class Segmentation:
         return float(max(stops)) if stops else 0.0
 
 
+def segment_rank(table: InvocationTable, rank: int, region: int) -> RankSegments:
+    """Segments of one rank: the outermost ``region`` invocations.
+
+    This per-rank kernel is the unit of work of the sharded engine
+    (:mod:`repro.core.shard`); :func:`segment_trace` is its rank loop,
+    so sharded and single-process segmentations are bit-identical by
+    construction.
+    """
+    mask = (table.region == region) & table.outermost
+    rows = np.flatnonzero(mask)
+    t_start = table.t_enter[rows]
+    order = np.argsort(t_start, kind="stable")
+    rows = rows[order]
+    return RankSegments(
+        rank=rank,
+        t_start=table.t_enter[rows],
+        t_stop=table.t_leave[rows],
+        invocation_row=rows.astype(np.int64),
+    )
+
+
 def segment_trace(
     tables: dict[int, InvocationTable], region: int
 ) -> Segmentation:
@@ -113,17 +134,8 @@ def segment_trace(
     Only *outermost* invocations are used, so a recursive dominant
     function still yields disjoint segments.
     """
-    per_rank: dict[int, RankSegments] = {}
-    for rank, table in tables.items():
-        mask = (table.region == region) & table.outermost
-        rows = np.flatnonzero(mask)
-        t_start = table.t_enter[rows]
-        order = np.argsort(t_start, kind="stable")
-        rows = rows[order]
-        per_rank[rank] = RankSegments(
-            rank=rank,
-            t_start=table.t_enter[rows],
-            t_stop=table.t_leave[rows],
-            invocation_row=rows.astype(np.int64),
-        )
+    per_rank = {
+        rank: segment_rank(table, rank, region)
+        for rank, table in tables.items()
+    }
     return Segmentation(region, per_rank)

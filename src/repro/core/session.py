@@ -37,6 +37,7 @@ import os
 import re
 import zipfile
 from collections import OrderedDict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -46,9 +47,14 @@ import numpy as np
 from ..profiles.profile import TraceProfile
 from ..profiles.replay import InvocationTable, match_invocations, replay_trace
 from ..profiles.stats import FunctionStatistics, compute_statistics
-from ..trace.fingerprint import TraceFingerprint, fingerprint_trace
+from ..trace.fingerprint import (
+    TraceFingerprint,
+    combine_fingerprint,
+    fingerprint_definitions,
+    fingerprint_trace,
+)
 from ..trace.trace import Trace
-from ..trace.validate import validate_trace
+from ..trace.validate import ValidationIssue, ValidationReport, validate_trace
 from .classify import SyncClassifier
 from .dominant import DominantSelection, select_dominant
 from .imbalance import ImbalanceReport, detect_imbalances
@@ -199,6 +205,10 @@ class ArtifactCache:
             raise ValueError(f"invalid artifact key {key!r}")
         return self.root / f"{key}.npz"
 
+    def contains(self, key: str) -> bool:
+        """Whether an artifact exists under ``key`` (no content check)."""
+        return self._path(key).exists()
+
     def load(self, key: str) -> dict[str, np.ndarray] | None:
         """Arrays stored under ``key``, or None on miss/corruption."""
         path = self._path(key)
@@ -246,6 +256,37 @@ def _digest(text: str) -> str:
     return hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
 
 
+class _LazyTables(Mapping):
+    """``rank -> InvocationTable`` view backed by the shard spill.
+
+    Handed to :class:`~repro.profiles.profile.TraceProfile` in sharded
+    mode so drill-down paths (call tree, windowed MPI fraction) can
+    still reach invocation tables — loaded per rank on demand through
+    a small LRU instead of being held for the whole trace at once.
+    """
+
+    def __init__(self, session: "AnalysisSession", max_cached: int = 4) -> None:
+        self._session = session
+        self._ranks = sorted(session._shard_bootstrap().digests)
+        self._cache = _LRU(max_cached)
+
+    def __getitem__(self, rank: int) -> InvocationTable:
+        table = self._cache.get(rank)
+        if table is not _MISS:
+            return table
+        if rank not in self._session._shard_bootstrap().digests:
+            raise KeyError(rank)
+        table = self._session._shard_engine().load_table(rank)
+        self._cache.put(rank, table)
+        return table
+
+    def __iter__(self):
+        return iter(self._ranks)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+
 class AnalysisSession:
     """Shared, lazily-evaluated analysis state for one trace.
 
@@ -278,17 +319,41 @@ class AnalysisSession:
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Trace | None,
         config=None,
         cache_dir: str | os.PathLike | None = None,
         parallel: bool | int | None = None,
         memory_entries: int = 128,
+        shards: int | None = None,
+        max_memory_mb: float | None = None,
+        source_path: str | os.PathLike | None = None,
     ) -> None:
         from .pipeline import AnalysisConfig  # deferred: pipeline imports us
 
-        self.trace = trace
         self.config = config if config is not None else AnalysisConfig()
         self.parallel = parallel
+        self.shards = shards
+        self.max_memory_mb = max_memory_mb
+        self.source_path = os.fspath(source_path) if source_path else None
+        self.sharded = shards is not None or max_memory_mb is not None
+        self._index = None  # TraceIndex over source_path (lazy)
+        self._engine = None  # ShardEngine (lazy)
+        if trace is None:
+            if self.source_path is None:
+                raise ValueError(
+                    "AnalysisSession needs a trace or a source_path"
+                )
+            from ..trace.reader import TraceIndex
+
+            self._index = TraceIndex(self.source_path)
+            # In sharded mode the parent never materialises event
+            # streams — workers do; definitions suffice up here.
+            trace = (
+                self._index.definitions_trace()
+                if self.sharded
+                else self._index.load()
+            )
+        self.trace = trace
         self.cache = (
             ArtifactCache(os.path.expanduser(str(cache_dir)))
             if cache_dir is not None
@@ -300,15 +365,106 @@ class AnalysisSession:
         self._tables: dict[int, InvocationTable] | None = None
         self._profile: TraceProfile | None = None
         self._validated = False
+        self._boot = None  # ShardBootstrap (lazy)
 
     # -- identity ------------------------------------------------------
 
     @property
     def fingerprint(self) -> TraceFingerprint:
-        """Content fingerprint of the trace (computed once)."""
+        """Content fingerprint of the trace (computed once).
+
+        In sharded mode the per-rank event digests come back from the
+        phase-1 workers (the parent may hold only definitions) and are
+        combined by the same code as :func:`fingerprint_trace`.
+        """
         if self._fingerprint is None:
-            self._fingerprint = fingerprint_trace(self.trace)
+            if self.sharded:
+                self._shard_bootstrap()  # assembles the fingerprint
+            else:
+                self._fingerprint = fingerprint_trace(self.trace)
         return self._fingerprint
+
+    @property
+    def num_events(self) -> int:
+        """Total event count — exact even when ``self.trace`` is only a
+        definitions skeleton (sharded path mode)."""
+        if self.sharded and not self.trace.num_events:
+            return self._shard_bootstrap().num_events
+        return self.trace.num_events
+
+    @property
+    def duration(self) -> float:
+        """Trace time extent, sharded-mode aware like :attr:`num_events`."""
+        if self.sharded and not self.trace.num_events:
+            boot = self._shard_bootstrap()
+            return boot.t_max - boot.t_min
+        return self.trace.duration
+
+    # -- sharding ------------------------------------------------------
+
+    def _shard_engine(self):
+        """The (lazily created) worker-pool coordinator."""
+        from .shard import ShardEngine, plan_shards
+
+        if self._engine is None:
+            if self.source_path is not None:
+                if self._index is None:
+                    from ..trace.reader import TraceIndex
+
+                    self._index = TraceIndex(self.source_path)
+                counts = self._index.event_counts()
+            else:
+                counts = {
+                    rank: len(self.trace.events_of(rank))
+                    for rank in self.trace.ranks
+                }
+            plan = plan_shards(
+                counts, shards=self.shards, max_memory_mb=self.max_memory_mb
+            )
+            self._engine = ShardEngine(
+                plan,
+                source_path=self.source_path,
+                trace=None if self.source_path is not None else self.trace,
+                n_regions=len(self.trace.regions),
+                spill_dir=self.cache.root if self.cache is not None else None,
+                validate=self.config.validate,
+            )
+        return self._engine
+
+    def _shard_bootstrap(self):
+        """Run (once) the phase-1 fan-out: replay + per-rank statistics.
+
+        Also performs validation (inside the workers, against the
+        global rank set) and assembles the trace fingerprint from the
+        worker-computed event digests.
+        """
+        if self._boot is not None:
+            return self._boot
+        boot = self._shard_engine().bootstrap()
+        if self.config.validate and boot.issues:
+            ValidationReport(
+                issues=[ValidationIssue(*i) for i in boot.issues]
+            ).raise_if_invalid()
+        if self._fingerprint is None:
+            self._fingerprint = combine_fingerprint(
+                fingerprint_definitions(self.trace),
+                tuple((r, boot.digests[r]) for r in sorted(boot.digests)),
+            )
+        self.stats._bump(self.stats.computed, "replay", boot.replayed)
+        if boot.reused:
+            self.stats._bump(self.stats.disk_hits, "replay", boot.reused)
+        if boot.replayed:
+            self.stats._bump(self.stats.disk_writes, "replay", boot.replayed)
+        if self.config.validate:
+            self.stats._bump(self.stats.computed, "validate")
+            self._validated = True
+            if self.cache is not None:
+                self.cache.store(
+                    f"valid-{self.fingerprint.hexdigest}",
+                    {"ok": np.ones(1, dtype=np.int8)},
+                )
+        self._boot = boot
+        return boot
 
     def _classifier_key(self, classifier: SyncClassifier) -> str:
         return _digest(repr(classifier))
@@ -356,6 +512,13 @@ class AnalysisSession:
         if self._tables is not None:
             self.stats._bump(self.stats.memory_hits, "replay")
             return self._tables
+        if self.sharded:
+            boot = self._shard_bootstrap()
+            engine = self._shard_engine()
+            self._tables = {
+                rank: engine.load_table(rank) for rank in sorted(boot.digests)
+            }
+            return self._tables
         ranks = self.trace.ranks
         tables: dict[int, InvocationTable] = {}
         missing: list[int] = []
@@ -395,11 +558,21 @@ class AnalysisSession:
         if self._profile is not None:
             self.stats._bump(self.stats.memory_hits, "profile")
             return self._profile
-        tables = self.replay()
+        if self.sharded:
+            boot = self._shard_bootstrap()
+            tables: Mapping[int, InvocationTable] = _LazyTables(self)
+            compute = lambda: FunctionStatistics.from_partials(  # noqa: E731
+                self.trace, boot.partials
+            )
+        else:
+            tables = self.replay()
+            compute = lambda: compute_statistics(  # noqa: E731
+                self.trace, tables
+            )
         stats = self._stage(
             "stats",
             (),
-            compute=lambda: compute_statistics(self.trace, tables),
+            compute=compute,
             disk_key=f"stats-{self.fingerprint.hexdigest}",
             to_arrays=lambda s: s.to_arrays(),
             from_arrays=lambda arrays: FunctionStatistics.from_arrays(
@@ -432,11 +605,13 @@ class AnalysisSession:
 
     def segmentation(self, region: int) -> Segmentation:
         """Segments of the ``region`` invocations (stage ``segmentation``)."""
-        return self._stage(
-            "segmentation",
-            (region,),
-            compute=lambda: segment_trace(self.replay(), region),
-        )
+        if self.sharded:
+            # Phase 2 computes segments and sync-times together; the
+            # memoized SOS result carries the segmentation.
+            compute = lambda: self.sos(region).segmentation  # noqa: E731
+        else:
+            compute = lambda: segment_trace(self.replay(), region)  # noqa: E731
+        return self._stage("segmentation", (region,), compute=compute)
 
     def _sos_to_arrays(self, sos: SOSResult) -> dict[str, np.ndarray]:
         # One concatenated (4, total-segments) matrix plus per-rank
@@ -497,6 +672,15 @@ class AnalysisSession:
         self._memo.put(("segmentation", region), segmentation)
         return SOSResult(segmentation, per_rank, classifier)
 
+    def _shard_sos(self, region: int, cls: SyncClassifier) -> SOSResult:
+        """Phase-2 fan-out: segment + SOS-accumulate in the workers."""
+        from .shard import assemble_sos
+
+        engine = self._shard_engine()
+        self._shard_bootstrap()
+        per_rank = engine.sos_arrays(region, cls.mask(self.trace))
+        return assemble_sos(region, per_rank, cls)
+
     def sos(self, region: int, classifier: SyncClassifier | None = None) -> SOSResult:
         """SOS-times for segments of ``region`` (stage ``sos``)."""
         cls = self.config.classifier if classifier is None else classifier
@@ -504,12 +688,16 @@ class AnalysisSession:
             f"sos-{self.fingerprint.hexdigest}"
             f"-{region}-{self._classifier_key(cls)}"
         )
+        if self.sharded:
+            compute = lambda: self._shard_sos(region, cls)  # noqa: E731
+        else:
+            compute = lambda: compute_sos(  # noqa: E731
+                self.trace, self.segmentation(region), self.replay(), cls
+            )
         return self._stage(
             "sos",
             (region, cls),
-            compute=lambda: compute_sos(
-                self.trace, self.segmentation(region), self.replay(), cls
-            ),
+            compute=compute,
             disk_key=disk_key,
             to_arrays=self._sos_to_arrays,
             from_arrays=lambda arrays: self._sos_from_arrays(region, cls, arrays),
@@ -578,6 +766,11 @@ class AnalysisSession:
 
     def _ensure_valid(self) -> None:
         if not self.config.validate or self._validated:
+            return
+        if self.sharded and self.trace.num_processes > 0:
+            # Workers validate their sub-traces against the global rank
+            # set during bootstrap; issues raise there.
+            self._shard_bootstrap()
             return
         # Validity is a pure function of content, so a marker artifact
         # keyed by the fingerprint lets warm sessions skip the scan.

@@ -1,0 +1,505 @@
+"""Sharded, process-parallel, memory-bounded analysis engine.
+
+Million-event traces stress the single-process pipeline in two ways:
+the event columns plus replayed invocation tables of *every* rank must
+fit in memory at once, and replay/SOS run on one core.  This module
+partitions a trace into contiguous rank groups ("shards") and runs the
+expensive per-rank stages — event loading, stack replay, profile
+statistics, segmentation, SOS accumulation — in worker processes that
+each materialise **only their own ranks** (via the chunked reader,
+:class:`repro.trace.reader.TraceIndex`).  Partial results are merged
+into full-trace products that are *bitwise identical* to the
+single-process pipeline.
+
+Why sharded == unsharded, exactly:
+
+* Replay, segmentation and SOS are per-rank-independent; workers run
+  the very same kernels (:func:`repro.profiles.replay.match_invocations`,
+  :func:`repro.core.segments.segment_rank`,
+  :func:`repro.core.sos.segment_sync_time`) on bit-identical event
+  columns — the chunked reader decompresses/parses the same bytes as
+  the eager one.
+* Profile statistics are *defined* as a rank-ascending merge of
+  per-rank partials (:func:`repro.profiles.stats.merge_statistics_arrays`),
+  so the grouping of ranks into shards cannot influence a single bit
+  of the merged floats.
+* Everything downstream — dominant selection, imbalance detections,
+  trends, heat binning — runs in the parent on those merged products
+  through the unchanged single-process code.
+
+Workers exchange invocation tables with the parent through a *spill*
+:class:`~repro.core.session.ArtifactCache` keyed by the per-rank event
+digests of :mod:`repro.trace.fingerprint` — the same ``inv-{digest}``
+keys the lazy session uses, so when the session has a persistent
+``cache_dir`` the shard spill *is* the session cache and warm runs
+replay nothing.
+
+The worker count defaults to ``min(num_shards, cpu_count)`` and can be
+pinned with the ``REPRO_SHARD_WORKERS`` environment variable (``1``
+runs the shard tasks in-process, which is also how results stay
+reproducible on machines without usable multiprocessing).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..profiles.replay import InvocationTable, match_invocations
+from ..profiles.stats import rank_statistics_arrays
+from ..trace.fingerprint import fingerprint_events
+from ..trace.filters import select_ranks
+from ..trace.trace import Trace
+from ..trace.validate import validate_trace
+from .classify import SyncClassifier
+from .segments import RankSegments, Segmentation, segment_rank
+from .sos import RankSOS, SOSResult, segment_sync_time
+
+__all__ = [
+    "BYTES_PER_EVENT",
+    "ShardBootstrap",
+    "ShardEngine",
+    "ShardPlan",
+    "assemble_sos",
+    "plan_shards",
+    "shard_workers",
+]
+
+#: Estimated peak working set per event inside one worker: the seven
+#: canonical event columns (~33 B/event) plus the replayed invocation
+#: table (ten float64 columns over ~n/2 invocations, ~40 B/event) plus
+#: decompression/parse slack.  Deliberately generous — ``--max-memory-mb``
+#: is a bound, not a target.
+BYTES_PER_EVENT = 160
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """Contiguous partition of a trace's ranks into shard groups."""
+
+    groups: tuple[tuple[int, ...], ...]
+    #: events per shard, aligned with ``groups``
+    events: tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.groups)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(r for group in self.groups for r in group)
+
+    def max_shard_bytes(self) -> int:
+        """Estimated peak working set of the largest shard."""
+        return max(self.events, default=0) * BYTES_PER_EVENT
+
+    def describe(self) -> str:
+        parts = [
+            f"{len(g)} ranks/{n} events" for g, n in zip(self.groups, self.events)
+        ]
+        return f"{self.num_shards} shards: " + ", ".join(parts)
+
+
+def plan_shards(
+    event_counts: dict[int, int],
+    shards: int | None = None,
+    max_memory_mb: float | None = None,
+) -> ShardPlan:
+    """Partition ranks into contiguous groups balanced by event count.
+
+    Parameters
+    ----------
+    event_counts:
+        ``rank -> number of events`` for every rank of the trace.
+    shards:
+        Requested shard count (default 1).
+    max_memory_mb:
+        Per-worker memory bound; raises the shard count until the
+        estimated working set (``BYTES_PER_EVENT`` per event) of the
+        largest shard fits, and additionally splits any group whose
+        estimate still exceeds the budget (the bound then holds down
+        to single-rank granularity — one rank bigger than the budget
+        cannot be split further).  Both knobs may be combined — the
+        larger resulting shard count wins.
+
+    The partition is deterministic: ranks stay in ascending order and
+    group boundaries fall where the cumulative event count crosses
+    ``total * i / n``.
+    """
+    ranks = sorted(event_counts)
+    if not ranks:
+        raise ValueError("cannot shard a trace with no ranks")
+    n = 1 if shards is None else int(shards)
+    if n < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    total = sum(event_counts.values())
+    if max_memory_mb is not None:
+        if max_memory_mb <= 0:
+            raise ValueError(f"memory bound must be > 0 MB, got {max_memory_mb}")
+        budget = int(max_memory_mb * 1e6)
+        needed = -(-total * BYTES_PER_EVENT // budget) if total else 1
+        n = max(n, int(needed))
+    n = min(n, len(ranks))
+
+    groups: list[list[int]] = [[] for _ in range(n)]
+    cum = 0
+    g = 0
+    for idx, rank in enumerate(ranks):
+        while (
+            g < n - 1
+            and groups[g]
+            and cum >= total * (g + 1) / n
+            and len(ranks) - idx >= n - 1 - g
+        ):
+            g += 1
+        groups[g].append(rank)
+        cum += event_counts[rank]
+    # Ranks may run out before groups do when counts are very skewed;
+    # drop the empty tail groups rather than shipping no-op workers.
+    filled = [tuple(group) for group in groups if group]
+    if max_memory_mb is not None:
+        # The balanced split targets equal shares, not the budget: a
+        # boundary can overshoot and leave one group above the bound.
+        # Greedily re-cut any such group at the budget.
+        budget_events = max(int(max_memory_mb * 1e6) // BYTES_PER_EVENT, 1)
+        recut: list[tuple[int, ...]] = []
+        for group in filled:
+            current: list[int] = []
+            load = 0
+            for rank in group:
+                c = event_counts[rank]
+                if current and load + c > budget_events:
+                    recut.append(tuple(current))
+                    current, load = [], 0
+                current.append(rank)
+                load += c
+            recut.append(tuple(current))
+        filled = recut
+    return ShardPlan(
+        groups=tuple(filled),
+        events=tuple(sum(event_counts[r] for r in g) for g in filled),
+    )
+
+
+def shard_workers(num_shards: int) -> int:
+    """Worker-process count: ``REPRO_SHARD_WORKERS`` or cpu count."""
+    env = os.environ.get("REPRO_SHARD_WORKERS", "").strip()
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SHARD_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if n < 1:
+            raise ValueError(f"REPRO_SHARD_WORKERS must be >= 1, got {n}")
+    else:
+        try:
+            n = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            n = os.cpu_count() or 1
+    return max(1, min(n, num_shards))
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (top-level: must be picklable by reference)
+# ---------------------------------------------------------------------------
+
+
+def _load_shard_trace(payload: dict) -> Trace:
+    trace = payload.get("trace")
+    if trace is not None:
+        return trace
+    from ..trace.reader import TraceIndex
+
+    return TraceIndex(payload["path"]).load(payload["ranks"])
+
+
+def _phase1_shard(payload: dict) -> dict:
+    """Load, validate, replay and profile the ranks of one shard.
+
+    Returns per-rank event digests and statistics partials; the (much
+    larger) invocation tables are spilled to the shard cache under
+    their ``inv-{digest}`` keys instead of being pickled back.
+    """
+    from .session import ArtifactCache, _table_to_arrays
+
+    spill = ArtifactCache(payload["spill_dir"])
+    trace = _load_shard_trace(payload)
+    issues: list[tuple[int, str, str]] = []
+    if payload["validate"]:
+        report = validate_trace(
+            trace, known_ranks=frozenset(payload["known_ranks"])
+        )
+        issues = [(i.rank, i.code, i.message) for i in report.issues]
+        if issues:
+            # Replay of a structurally broken stream is undefined; let
+            # the parent raise the aggregated validation error instead.
+            return {"digests": {}, "partials": {}, "extents": {},
+                    "issues": issues, "replayed": 0, "reused": 0}
+    n_regions = payload["n_regions"]
+    digests: dict[int, str] = {}
+    partials: dict[int, dict[str, np.ndarray]] = {}
+    extents: dict[int, tuple[int, float, float]] = {}
+    replayed = reused = 0
+    for rank in sorted(payload["ranks"]):
+        events = trace.events_of(rank)
+        digest = fingerprint_events(events)
+        digests[rank] = digest
+        if len(events):
+            extents[rank] = (
+                len(events), float(events.time[0]), float(events.time[-1])
+            )
+        cached = spill.load(f"rankstats-{digest}")
+        if (
+            cached is not None
+            and len(cached.get("count", ())) == n_regions
+            and spill.contains(f"inv-{digest}")
+        ):
+            partials[rank] = cached
+            reused += 1
+            continue
+        table = match_invocations(events)
+        spill.store(f"inv-{digest}", _table_to_arrays(table))
+        partial = rank_statistics_arrays(table, n_regions)
+        spill.store(f"rankstats-{digest}", partial)
+        partials[rank] = partial
+        replayed += 1
+    return {"digests": digests, "partials": partials, "extents": extents,
+            "issues": issues, "replayed": replayed, "reused": reused}
+
+
+def _phase2_shard(payload: dict) -> dict:
+    """Segment + SOS-accumulate one shard's ranks for one region.
+
+    Reads invocation tables back from the spill (small, rank-local
+    reads) and returns only the per-segment arrays — a few KB per rank
+    even for million-event traces.
+    """
+    from .session import ArtifactCache, _table_from_arrays
+
+    spill = ArtifactCache(payload["spill_dir"])
+    region = payload["region"]
+    sync_regions = payload["sync_regions"]
+    out: dict[int, dict[str, np.ndarray]] = {}
+    for rank in sorted(payload["ranks"]):
+        arrays = spill.load(f"inv-{payload['digests'][rank]}")
+        if arrays is None:
+            raise RuntimeError(
+                f"shard spill lost the invocation table of rank {rank}"
+            )
+        table = _table_from_arrays(arrays)
+        seg = segment_rank(table, rank, region)
+        out[rank] = {
+            "t_start": seg.t_start,
+            "t_stop": seg.t_stop,
+            "invocation_row": seg.invocation_row,
+            "sync_time": segment_sync_time(seg, table, sync_regions),
+        }
+    return out
+
+
+def _run_shard_tasks(fn, payloads: list[dict], workers: int) -> list:
+    """Run shard tasks, in-process when one worker suffices."""
+    if workers <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        return list(pool.map(fn, payloads))
+
+
+# ---------------------------------------------------------------------------
+# Parent-side merge layer
+# ---------------------------------------------------------------------------
+
+
+def assemble_sos(
+    region: int,
+    per_rank: dict[int, dict[str, np.ndarray]],
+    classifier: SyncClassifier,
+) -> SOSResult:
+    """Union per-rank segment/SOS arrays into a full :class:`SOSResult`.
+
+    The merge is a rank-keyed dictionary union — no arithmetic — so it
+    is trivially associative, commutative and order-independent (the
+    property tests in ``tests/test_shard.py`` pin this down).
+    """
+    segs: dict[int, RankSegments] = {}
+    soss: dict[int, RankSOS] = {}
+    for rank in sorted(per_rank):
+        d = per_rank[rank]
+        seg = RankSegments(
+            rank=rank,
+            t_start=d["t_start"],
+            t_stop=d["t_stop"],
+            invocation_row=d["invocation_row"],
+        )
+        duration = seg.duration
+        segs[rank] = seg
+        soss[rank] = RankSOS(
+            rank=rank,
+            duration=duration,
+            sync_time=d["sync_time"],
+            sos=duration - d["sync_time"],
+        )
+    return SOSResult(Segmentation(region, segs), soss, classifier)
+
+
+@dataclass(slots=True)
+class ShardBootstrap:
+    """Merged phase-1 output: digests, stats partials, diagnostics."""
+
+    digests: dict[int, str]
+    partials: dict[int, dict[str, np.ndarray]]
+    #: rank -> (n_events, first timestamp, last timestamp); lets the
+    #: parent report trace totals without materialising any events
+    extents: dict[int, tuple[int, float, float]]
+    issues: list[tuple[int, str, str]]
+    replayed: int
+    reused: int
+
+    @property
+    def num_events(self) -> int:
+        return sum(n for n, _, _ in self.extents.values())
+
+    @property
+    def t_min(self) -> float:
+        lows = [lo for _, lo, _ in self.extents.values()]
+        return float(min(lows)) if lows else 0.0
+
+    @property
+    def t_max(self) -> float:
+        highs = [hi for _, _, hi in self.extents.values()]
+        return float(max(highs)) if highs else 0.0
+
+
+class ShardEngine:
+    """Coordinates the worker pool for one sharded analysis.
+
+    Parameters
+    ----------
+    plan:
+        Rank partition from :func:`plan_shards`.
+    source_path:
+        Trace file; workers read their ranks through the chunked
+        reader.  Exactly one of ``source_path``/``trace`` is required.
+    trace:
+        In-memory trace; workers receive pickled per-shard sub-traces
+        (this bounds cores, not memory — the parent already holds the
+        full trace).
+    n_regions:
+        Region count of the trace's definitions (statistics width).
+    spill_dir:
+        Directory for the table spill.  ``None`` creates a private
+        temporary directory that lives as long as the engine.
+    workers:
+        Worker-process count; default from :func:`shard_workers`.
+    validate:
+        Run structural validation inside phase-1 workers.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        *,
+        source_path: str | os.PathLike | None = None,
+        trace: Trace | None = None,
+        n_regions: int,
+        spill_dir: str | os.PathLike | None = None,
+        workers: int | None = None,
+        validate: bool = True,
+    ) -> None:
+        if (source_path is None) == (trace is None):
+            raise ValueError("pass exactly one of source_path or trace")
+        self.plan = plan
+        self.source_path = os.fspath(source_path) if source_path else None
+        self.trace = trace
+        self.n_regions = n_regions
+        self.validate = validate
+        self.workers = (
+            shard_workers(plan.num_shards) if workers is None else workers
+        )
+        self._tmp: tempfile.TemporaryDirectory | None = None
+        if spill_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-shard-")
+            spill_dir = self._tmp.name
+        self.spill_dir = os.fspath(spill_dir)
+        self._bootstrap: ShardBootstrap | None = None
+
+    # -- phase 1 -------------------------------------------------------
+
+    def _phase1_payloads(self) -> list[dict]:
+        known = self.plan.ranks
+        payloads = []
+        for group in self.plan.groups:
+            payload = {
+                "ranks": tuple(group),
+                "known_ranks": known,
+                "n_regions": self.n_regions,
+                "spill_dir": self.spill_dir,
+                "validate": self.validate,
+            }
+            if self.source_path is not None:
+                payload["path"] = self.source_path
+            else:
+                payload["trace"] = select_ranks(self.trace, group)
+            payloads.append(payload)
+        return payloads
+
+    def bootstrap(self) -> ShardBootstrap:
+        """Replay + profile every shard (runs once, then memoized)."""
+        if self._bootstrap is None:
+            results = _run_shard_tasks(
+                _phase1_shard, self._phase1_payloads(), self.workers
+            )
+            boot = ShardBootstrap({}, {}, {}, [], 0, 0)
+            for res in results:
+                boot.digests.update(res["digests"])
+                boot.partials.update(res["partials"])
+                boot.extents.update(res["extents"])
+                boot.issues.extend(res["issues"])
+                boot.replayed += res["replayed"]
+                boot.reused += res["reused"]
+            self._bootstrap = boot
+        return self._bootstrap
+
+    # -- phase 2 -------------------------------------------------------
+
+    def sos_arrays(
+        self, region: int, sync_regions: np.ndarray
+    ) -> dict[int, dict[str, np.ndarray]]:
+        """Per-rank segment/sync arrays for ``region`` across all shards."""
+        boot = self.bootstrap()
+        payloads = [
+            {
+                "ranks": tuple(group),
+                "digests": {r: boot.digests[r] for r in group},
+                "region": int(region),
+                "sync_regions": np.asarray(sync_regions),
+                "spill_dir": self.spill_dir,
+            }
+            for group in self.plan.groups
+        ]
+        merged: dict[int, dict[str, np.ndarray]] = {}
+        for res in _run_shard_tasks(_phase2_shard, payloads, self.workers):
+            merged.update(res)
+        return merged
+
+    # -- spill access ---------------------------------------------------
+
+    def load_table(self, rank: int) -> InvocationTable:
+        """One rank's replayed invocation table, read from the spill."""
+        from .session import ArtifactCache, _table_from_arrays
+
+        boot = self.bootstrap()
+        if rank not in boot.digests:
+            raise KeyError(f"rank {rank} is not part of this shard plan")
+        arrays = ArtifactCache(self.spill_dir).load(f"inv-{boot.digests[rank]}")
+        if arrays is None:
+            raise RuntimeError(
+                f"shard spill lost the invocation table of rank {rank}"
+            )
+        return _table_from_arrays(arrays)

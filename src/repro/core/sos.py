@@ -24,7 +24,14 @@ from ..trace.trace import Trace
 from .classify import SyncClassifier, default_classifier
 from .segments import RankSegments, Segmentation
 
-__all__ = ["RankSOS", "SOSResult", "compute_sos", "top_level_sync_mask"]
+__all__ = [
+    "RankSOS",
+    "SOSResult",
+    "compute_sos",
+    "rank_sos",
+    "segment_sync_time",
+    "top_level_sync_mask",
+]
 
 
 def _has_sync_ancestor(table: InvocationTable, frame_sync: np.ndarray) -> np.ndarray:
@@ -160,7 +167,7 @@ class SOSResult:
         return np.concatenate(ranks), np.concatenate(indices), np.concatenate(values)
 
 
-def _segment_sync_time(
+def segment_sync_time(
     segments: RankSegments,
     table: InvocationTable,
     sync_regions: np.ndarray,
@@ -212,16 +219,29 @@ def compute_sos(
         classifier = default_classifier()
     sync_regions = classifier.mask(trace)
 
-    per_rank: dict[int, RankSOS] = {}
-    for rank in segmentation.ranks:
-        segments = segmentation[rank]
-        table = tables[rank]
-        duration = segments.duration
-        sync_time = _segment_sync_time(segments, table, sync_regions)
-        per_rank[rank] = RankSOS(
-            rank=rank,
-            duration=duration,
-            sync_time=sync_time,
-            sos=duration - sync_time,
-        )
+    per_rank: dict[int, RankSOS] = {
+        rank: rank_sos(segmentation[rank], tables[rank], sync_regions)
+        for rank in segmentation.ranks
+    }
     return SOSResult(segmentation, per_rank, classifier)
+
+
+def rank_sos(
+    segments: RankSegments,
+    table: InvocationTable,
+    sync_regions: np.ndarray,
+) -> RankSOS:
+    """SOS values of one rank's segments.
+
+    The per-rank kernel of :func:`compute_sos`, exposed so the sharded
+    engine (:mod:`repro.core.shard`) computes exactly the same numbers
+    inside worker processes.
+    """
+    duration = segments.duration
+    sync_time = segment_sync_time(segments, table, sync_regions)
+    return RankSOS(
+        rank=segments.rank,
+        duration=duration,
+        sync_time=sync_time,
+        sos=duration - sync_time,
+    )

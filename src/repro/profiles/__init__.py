@@ -9,7 +9,13 @@ from .export import (
 )
 from .profile import TraceProfile, profile_trace
 from .replay import InvocationTable, match_invocations, replay_trace
-from .stats import FunctionStatistics, RegionStats, compute_statistics
+from .stats import (
+    FunctionStatistics,
+    RegionStats,
+    compute_statistics,
+    merge_statistics_arrays,
+    rank_statistics_arrays,
+)
 
 __all__ = [
     "CallPathNode",
@@ -25,6 +31,8 @@ __all__ = [
     "write_segments_csv",
     "compute_statistics",
     "match_invocations",
+    "merge_statistics_arrays",
     "profile_trace",
+    "rank_statistics_arrays",
     "replay_trace",
 ]

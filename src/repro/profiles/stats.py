@@ -15,7 +15,13 @@ import numpy as np
 from ..trace.trace import Trace
 from .replay import InvocationTable, replay_trace
 
-__all__ = ["RegionStats", "FunctionStatistics", "compute_statistics"]
+__all__ = [
+    "RegionStats",
+    "FunctionStatistics",
+    "compute_statistics",
+    "rank_statistics_arrays",
+    "merge_statistics_arrays",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,6 +46,74 @@ class RegionStats:
         return self.inclusive_sum / self.count if self.count else 0.0
 
 
+#: Column arrays carried by one per-rank statistics partial.
+_STAT_COLUMNS = (
+    "count",
+    "inclusive_sum",
+    "exclusive_sum",
+    "inclusive_min",
+    "inclusive_max",
+)
+
+
+def _empty_statistics_arrays(n_regions: int) -> dict[str, np.ndarray]:
+    return {
+        "count": np.zeros(n_regions, dtype=np.int64),
+        "inclusive_sum": np.zeros(n_regions, dtype=np.float64),
+        "exclusive_sum": np.zeros(n_regions, dtype=np.float64),
+        "inclusive_min": np.full(n_regions, np.inf, dtype=np.float64),
+        "inclusive_max": np.full(n_regions, -np.inf, dtype=np.float64),
+    }
+
+
+def rank_statistics_arrays(
+    table: InvocationTable, n_regions: int
+) -> dict[str, np.ndarray]:
+    """Per-region statistics contributed by one rank's invocation table.
+
+    This is the *unit of merging* for distributed/sharded profiling:
+    the full-trace statistics are defined as the rank-order merge of
+    these per-rank partials (see :func:`merge_statistics_arrays`), so
+    any process that holds only some ranks can compute its partials
+    independently and the combined result is bit-identical no matter
+    how ranks were grouped into shards.
+    """
+    out = _empty_statistics_arrays(n_regions)
+    if len(table) == 0:
+        return out
+    np.add.at(out["count"], table.region, 1)
+    outer = table.outermost
+    np.add.at(out["inclusive_sum"], table.region[outer], table.inclusive[outer])
+    np.add.at(out["exclusive_sum"], table.region, table.exclusive)
+    np.minimum.at(out["inclusive_min"], table.region, table.inclusive)
+    np.maximum.at(out["inclusive_max"], table.region, table.inclusive)
+    return out
+
+
+def merge_statistics_arrays(
+    partials: "list[dict[str, np.ndarray]]", n_regions: int
+) -> dict[str, np.ndarray]:
+    """Merge statistics partials **in the given order**.
+
+    Counts and time sums accumulate; min/max reduce element-wise.  The
+    float sums make this order-sensitive at the last ulp, so callers
+    that need exact reproducibility (the sharded engine, and
+    :class:`FunctionStatistics` itself) always merge per-rank partials
+    in ascending rank order — which is what makes shard-then-merge
+    bitwise identical to the single-process computation.
+    """
+    acc = _empty_statistics_arrays(n_regions)
+    for partial in partials:
+        acc["count"] += partial["count"]
+        acc["inclusive_sum"] += partial["inclusive_sum"]
+        acc["exclusive_sum"] += partial["exclusive_sum"]
+        np.minimum(acc["inclusive_min"], partial["inclusive_min"],
+                   out=acc["inclusive_min"])
+        np.maximum(acc["inclusive_max"], partial["inclusive_max"],
+                   out=acc["inclusive_max"])
+    return acc
+
+
 class FunctionStatistics:
     """Column-oriented per-region statistics for one trace.
 
@@ -55,30 +129,45 @@ class FunctionStatistics:
     def __init__(self, trace: Trace, tables: dict[int, InvocationTable]) -> None:
         n_regions = len(trace.regions)
         self._trace = trace
-        self.count = np.zeros(n_regions, dtype=np.int64)
-        self.inclusive_sum = np.zeros(n_regions, dtype=np.float64)
-        self.exclusive_sum = np.zeros(n_regions, dtype=np.float64)
-        self.inclusive_min = np.full(n_regions, np.inf, dtype=np.float64)
-        self.inclusive_max = np.full(n_regions, -np.inf, dtype=np.float64)
-        for table in tables.values():
-            if len(table) == 0:
-                continue
-            np.add.at(self.count, table.region, 1)
-            outer = table.outermost
-            np.add.at(
-                self.inclusive_sum, table.region[outer], table.inclusive[outer]
-            )
-            np.add.at(self.exclusive_sum, table.region, table.exclusive)
-            np.minimum.at(self.inclusive_min, table.region, table.inclusive)
-            np.maximum.at(self.inclusive_max, table.region, table.inclusive)
+        merged = merge_statistics_arrays(
+            [
+                rank_statistics_arrays(tables[rank], n_regions)
+                for rank in sorted(tables)
+            ],
+            n_regions,
+        )
+        for name in _STAT_COLUMNS:
+            setattr(self, name, merged[name])
 
-    _COLUMNS = (
-        "count",
-        "inclusive_sum",
-        "exclusive_sum",
-        "inclusive_min",
-        "inclusive_max",
-    )
+    _COLUMNS = _STAT_COLUMNS
+
+    @classmethod
+    def from_partials(
+        cls, trace: Trace, partials: dict[int, dict[str, np.ndarray]]
+    ) -> "FunctionStatistics":
+        """Build full-trace statistics from per-rank partials.
+
+        ``partials`` maps rank → :func:`rank_statistics_arrays` output;
+        they are merged in ascending rank order, so the result is
+        bit-identical to ``FunctionStatistics(trace, tables)`` over the
+        same ranks regardless of how the partials were produced or
+        grouped (the sharded engine relies on this).
+        """
+        n_regions = len(trace.regions)
+        for rank, partial in partials.items():
+            if len(partial["count"]) != n_regions:
+                raise ValueError(
+                    f"rank {rank} partial covers {len(partial['count'])} "
+                    f"regions, trace defines {n_regions}"
+                )
+        merged = merge_statistics_arrays(
+            [partials[rank] for rank in sorted(partials)], n_regions
+        )
+        self = object.__new__(cls)
+        self._trace = trace
+        for name in _STAT_COLUMNS:
+            setattr(self, name, merged[name])
+        return self
 
     @classmethod
     def from_arrays(

@@ -36,7 +36,7 @@ from .fingerprint import (
     fingerprint_trace,
 )
 from .merge import merge_traces
-from .reader import read_jsonl, read_trace
+from .reader import TraceIndex, read_jsonl, read_trace, read_trace_ranks
 from .trace import ProcessTrace, Trace
 from .validate import ValidationIssue, ValidationReport, validate_trace
 from .writer import write_jsonl
@@ -61,6 +61,7 @@ __all__ = [
     "Trace",
     "TraceBuilder",
     "TraceFingerprint",
+    "TraceIndex",
     "ValidationIssue",
     "ValidationReport",
     "clip_trace",
@@ -73,6 +74,7 @@ __all__ = [
     "read_binary",
     "read_jsonl",
     "read_trace",
+    "read_trace_ranks",
     "select_ranks",
     "validate_trace",
     "write_binary",

@@ -47,6 +47,19 @@ class BinaryFormatError(ValueError):
     """Raised when a binary trace file is malformed."""
 
 
+def parse_dtype(spec, where: str, error: type[ValueError]):
+    """Resolve a manifest dtype string, containing numpy's failures.
+
+    ``np.dtype`` on attacker-controlled strings can raise surprising
+    exception types (the comma-string parser even raises SyntaxError);
+    readers must surface all of them as their own format error.
+    """
+    try:
+        return np.dtype(spec)
+    except Exception as err:
+        raise error(f"{where}: invalid dtype {spec!r}: {err}") from err
+
+
 def write_binary(trace: Trace, path: str | os.PathLike, compresslevel: int = 6) -> None:
     """Serialise ``trace`` to ``path`` in the binary ``.rpt`` format."""
     blobs: list[bytes] = []
@@ -161,7 +174,14 @@ def read_binary(path: str | os.PathLike) -> Trace:
             start = spec["offset"]
             stop = start + spec["length"]
             raw = zlib.decompress(payload[start:stop])
-            arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+            arr = np.frombuffer(
+                raw,
+                dtype=parse_dtype(
+                    spec["dtype"],
+                    f"location {loc_rec['id']} column {col}",
+                    BinaryFormatError,
+                ),
+            )
             if len(arr) != n:
                 raise BinaryFormatError(
                     f"location {loc_rec['id']} column {col}: "

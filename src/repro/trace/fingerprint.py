@@ -31,6 +31,7 @@ from .trace import Trace
 
 __all__ = [
     "TraceFingerprint",
+    "combine_fingerprint",
     "fingerprint_definitions",
     "fingerprint_events",
     "fingerprint_trace",
@@ -109,12 +110,16 @@ class TraceFingerprint:
         raise KeyError(f"rank {rank} not in fingerprint")
 
 
-def fingerprint_trace(trace: Trace) -> TraceFingerprint:
-    """Compute the full content fingerprint of ``trace``."""
-    definitions = fingerprint_definitions(trace)
-    per_rank = tuple(
-        (rank, fingerprint_events(trace.events_of(rank))) for rank in trace.ranks
-    )
+def combine_fingerprint(
+    definitions: str, per_rank: "tuple[tuple[int, str], ...]"
+) -> TraceFingerprint:
+    """Assemble a :class:`TraceFingerprint` from already-computed digests.
+
+    The sharded engine (:mod:`repro.core.shard`) computes per-rank
+    event digests inside worker processes; combining them here — the
+    same code :func:`fingerprint_trace` uses — guarantees the sharded
+    session addresses the identical cache entries.
+    """
     h = _hasher()
     h.update(definitions.encode("ascii"))
     for rank, digest in per_rank:
@@ -123,3 +128,11 @@ def fingerprint_trace(trace: Trace) -> TraceFingerprint:
     return TraceFingerprint(
         definitions=definitions, per_rank=per_rank, hexdigest=h.hexdigest()
     )
+
+
+def fingerprint_trace(trace: Trace) -> TraceFingerprint:
+    """Compute the full content fingerprint of ``trace``."""
+    per_rank = tuple(
+        (rank, fingerprint_events(trace.events_of(rank))) for rank in trace.ranks
+    )
+    return combine_fingerprint(fingerprint_definitions(trace), per_rank)

@@ -1,13 +1,35 @@
-"""Trace deserialisation (text format) and format dispatch."""
+"""Trace deserialisation (text format), format dispatch and lazy
+rank-addressable access.
+
+Two read paths are provided:
+
+* the eager path (:func:`read_trace`, :func:`read_jsonl`,
+  :func:`repro.trace.binio.read_binary`) materialises the complete
+  trace in one go;
+* the chunked path (:class:`TraceIndex`, :func:`read_trace_ranks`)
+  parses only the definition records up front and loads event columns
+  per rank on demand.  This is what the sharded analysis engine
+  (:mod:`repro.core.shard`) uses so each worker process touches only
+  the bytes of its own rank group.
+
+Both paths construct bit-identical :class:`~repro.trace.events.EventList`
+columns for the ranks they load (the chunked path decompresses or
+parses exactly the same bytes), so analyses over lazily loaded ranks
+match the eager pipeline exactly.
+"""
 
 from __future__ import annotations
 
 import json
 import os
-from typing import IO
+import re
+import struct
+import zlib
+from typing import IO, Iterable, Sequence
 
 import numpy as np
 
+from .binio import parse_dtype
 from .definitions import (
     Location,
     Metric,
@@ -22,11 +44,78 @@ from .events import EventList
 from .trace import Trace
 from .writer import FORMAT_VERSION
 
-__all__ = ["read_jsonl", "load_jsonl", "read_trace"]
+__all__ = ["read_jsonl", "load_jsonl", "read_trace", "read_trace_ranks", "TraceIndex"]
 
 
 class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or has the wrong version."""
+
+
+def _check_header(header) -> None:
+    if not isinstance(header, dict) or header.get("record") != "header":
+        raise TraceFormatError("first record must be the header")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {header.get('version')!r}"
+        )
+
+
+def _add_definition_record(
+    record: dict,
+    regions: RegionRegistry,
+    metrics: MetricRegistry,
+    locations: dict[int, Location],
+) -> bool:
+    """Apply one region/metric/location record; False if not one."""
+    kind = record.get("record")
+    if kind == "region":
+        regions.add(
+            Region(
+                id=record["id"],
+                name=record["name"],
+                paradigm=Paradigm(record["paradigm"]),
+                role=RegionRole(record["role"]),
+                source_file=record.get("source_file", ""),
+                line=record.get("line", 0),
+            )
+        )
+    elif kind == "metric":
+        metrics.add(
+            Metric(
+                id=record["id"],
+                name=record["name"],
+                unit=record.get("unit", "#"),
+                mode=MetricMode(record.get("mode", 0)),
+                description=record.get("description", ""),
+            )
+        )
+    elif kind == "location":
+        loc = Location(
+            id=record["id"],
+            name=record["name"],
+            group=record.get("group", "MPI"),
+        )
+        locations[loc.id] = loc
+    else:
+        return False
+    return True
+
+
+def _events_from_record(record: dict) -> EventList:
+    events = EventList(
+        np.asarray(record["time"], dtype=np.float64),
+        np.asarray(record["kind"], dtype=np.uint8),
+        np.asarray(record["ref"], dtype=np.int32),
+        np.asarray(record["partner"], dtype=np.int32),
+        np.asarray(record["size"], dtype=np.int64),
+        np.asarray(record["tag"], dtype=np.int32),
+        np.asarray(record["value"], dtype=np.float64),
+    )
+    if len(events) != record.get("n", len(events)):
+        raise TraceFormatError(
+            f"location {record.get('location')}: event count mismatch"
+        )
+    return events
 
 
 def load_jsonl(fp: IO[str]) -> Trace:
@@ -35,12 +124,7 @@ def load_jsonl(fp: IO[str]) -> Trace:
     if not header_line:
         raise TraceFormatError("empty trace file")
     header = json.loads(header_line)
-    if not isinstance(header, dict) or header.get("record") != "header":
-        raise TraceFormatError("first record must be the header")
-    if header.get("version") != FORMAT_VERSION:
-        raise TraceFormatError(
-            f"unsupported trace format version {header.get('version')!r}"
-        )
+    _check_header(header)
 
     regions = RegionRegistry()
     metrics = MetricRegistry()
@@ -54,39 +138,12 @@ def load_jsonl(fp: IO[str]) -> Trace:
         record = json.loads(line)
         if not isinstance(record, dict):
             raise TraceFormatError(f"non-object record: {line[:40]!r}")
-        kind = record.get("record")
-        if kind == "region":
-            regions.add(
-                Region(
-                    id=record["id"],
-                    name=record["name"],
-                    paradigm=Paradigm(record["paradigm"]),
-                    role=RegionRole(record["role"]),
-                    source_file=record.get("source_file", ""),
-                    line=record.get("line", 0),
-                )
-            )
-        elif kind == "metric":
-            metrics.add(
-                Metric(
-                    id=record["id"],
-                    name=record["name"],
-                    unit=record.get("unit", "#"),
-                    mode=MetricMode(record.get("mode", 0)),
-                    description=record.get("description", ""),
-                )
-            )
-        elif kind == "location":
-            loc = Location(
-                id=record["id"],
-                name=record["name"],
-                group=record.get("group", "MPI"),
-            )
-            locations[loc.id] = loc
-        elif kind == "events":
+        if _add_definition_record(record, regions, metrics, locations):
+            continue
+        if record.get("record") == "events":
             event_records.append(record)
         else:
-            raise TraceFormatError(f"unknown record type {kind!r}")
+            raise TraceFormatError(f"unknown record type {record.get('record')!r}")
 
     trace = Trace(
         regions=regions,
@@ -99,20 +156,7 @@ def load_jsonl(fp: IO[str]) -> Trace:
         location = locations.get(loc_id)
         if location is None:
             raise TraceFormatError(f"events for undefined location {loc_id}")
-        events = EventList(
-            np.asarray(record["time"], dtype=np.float64),
-            np.asarray(record["kind"], dtype=np.uint8),
-            np.asarray(record["ref"], dtype=np.int32),
-            np.asarray(record["partner"], dtype=np.int32),
-            np.asarray(record["size"], dtype=np.int64),
-            np.asarray(record["tag"], dtype=np.int32),
-            np.asarray(record["value"], dtype=np.float64),
-        )
-        if len(events) != record.get("n", len(events)):
-            raise TraceFormatError(
-                f"location {loc_id}: event count mismatch"
-            )
-        trace.add_process(location, events)
+        trace.add_process(location, _events_from_record(record))
     # Locations defined but without an events record get empty streams.
     for loc_id, location in locations.items():
         if loc_id not in trace.ranks:
@@ -138,3 +182,360 @@ def read_trace(path: str | os.PathLike) -> Trace:
     raise TraceFormatError(
         f"cannot infer trace format from extension: {path_str!r}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Chunked / column-lazy access
+# ---------------------------------------------------------------------------
+
+#: Fast path for extracting the location id and event count from an
+#: events line without parsing its (potentially huge) column arrays.
+#: Matches the key order :mod:`repro.trace.writer` emits; any other
+#: layout falls back to a full ``json.loads``.
+_EVENTS_PREFIX_RE = re.compile(
+    r'^\s*\{"record":\s*"events",\s*"location":\s*(-?\d+),\s*"n":\s*(\d+)'
+)
+
+_BIN_COLUMNS = ("time", "kind", "ref", "partner", "size", "tag", "value")
+
+
+class _RankChunk:
+    """Byte extent of one rank's events in the underlying file."""
+
+    __slots__ = ("rank", "n_events", "offset", "length", "columns")
+
+    def __init__(self, rank, n_events, offset, length, columns=None):
+        self.rank = rank
+        self.n_events = n_events
+        self.offset = offset  # absolute file offset of the chunk
+        self.length = length
+        self.columns = columns  # binary only: per-column manifest
+
+
+class TraceIndex:
+    """Lazy, rank-addressable view of a trace file.
+
+    Parsing the index reads (and strictly validates) only the
+    definition records and the per-rank chunk table; event columns are
+    read by :meth:`load` for exactly the requested ranks.  Malformed
+    chunk tables — chunks that run past the end of the file, overlap
+    each other, or duplicate a rank — raise :class:`TraceFormatError`
+    at index-construction time rather than corrupting a later read.
+
+    Examples
+    --------
+    ::
+
+        index = TraceIndex("run.rpt")
+        index.ranks            # all location ids, sorted
+        part = index.load([0, 1, 2])   # Trace with only these ranks
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = str(path)
+        self.regions = RegionRegistry()
+        self.metrics = MetricRegistry()
+        self.locations: dict[int, Location] = {}
+        self.name = "trace"
+        self.attributes: dict[str, str] = {}
+        self._chunks: dict[int, _RankChunk] = {}
+        if self.path.endswith(".rpt"):
+            self.format = "rpt"
+            self._index_binary()
+        elif self.path.endswith(".jsonl"):
+            self.format = "jsonl"
+            self._index_jsonl()
+        else:
+            raise TraceFormatError(
+                f"cannot infer trace format from extension: {self.path!r}"
+            )
+
+    # -- indexing ------------------------------------------------------
+
+    def _index_binary(self) -> None:
+        from .binio import BIN_VERSION, MAGIC
+
+        file_size = os.path.getsize(self.path)
+        with open(self.path, "rb") as fp:
+            magic = fp.read(4)
+            if magic != MAGIC:
+                raise TraceFormatError(
+                    f"bad magic {magic!r}; not an .rpt trace"
+                )
+            head = fp.read(6)
+            if len(head) != 6:
+                raise TraceFormatError("truncated .rpt header")
+            version, header_len = struct.unpack("<HI", head)
+            if version != BIN_VERSION:
+                raise TraceFormatError(
+                    f"unsupported binary version {version}"
+                )
+            header_bytes = fp.read(header_len)
+            if len(header_bytes) != header_len:
+                raise TraceFormatError("truncated .rpt header")
+            try:
+                header = json.loads(header_bytes.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                raise TraceFormatError(f"corrupt .rpt header: {err}") from err
+            payload_start = fp.tell()
+        payload_size = file_size - payload_start
+
+        self.name = header.get("name", "trace")
+        self.attributes = header.get("attributes", {})
+        for rec in header.get("regions", ()):
+            _add_definition_record({**rec, "record": "region"},
+                                   self.regions, self.metrics, self.locations)
+        for rec in header.get("metrics", ()):
+            _add_definition_record({**rec, "record": "metric"},
+                                   self.regions, self.metrics, self.locations)
+
+        intervals: list[tuple[int, int, int, str]] = []
+        for loc_rec in header.get("locations", ()):
+            loc = Location(
+                id=loc_rec["id"],
+                name=loc_rec["name"],
+                group=loc_rec.get("group", "MPI"),
+            )
+            if loc.id in self.locations or loc.id in self._chunks:
+                raise TraceFormatError(
+                    f"duplicate chunk for location {loc.id}"
+                )
+            self.locations[loc.id] = loc
+            columns = loc_rec["columns"]
+            lo, hi = None, None
+            for col in _BIN_COLUMNS:
+                spec = columns.get(col)
+                if spec is None:
+                    raise TraceFormatError(
+                        f"location {loc.id}: missing column {col!r}"
+                    )
+                parse_dtype(
+                    spec.get("dtype"),
+                    f"location {loc.id} column {col}",
+                    TraceFormatError,
+                )
+                off, length = spec["offset"], spec["length"]
+                if (
+                    not isinstance(off, int)
+                    or not isinstance(length, int)
+                    or off < 0
+                    or length < 0
+                ):
+                    raise TraceFormatError(
+                        f"location {loc.id} column {col}: invalid chunk "
+                        f"extent (offset={off!r}, length={length!r})"
+                    )
+                if off + length > payload_size:
+                    raise TraceFormatError(
+                        f"location {loc.id} column {col}: chunk "
+                        f"[{off}, {off + length}) runs past the end of the "
+                        f"payload ({payload_size} bytes); file is truncated"
+                    )
+                if length:
+                    intervals.append((off, off + length, loc.id, col))
+                lo = off if lo is None else min(lo, off)
+                hi = off + length if hi is None else max(hi, off + length)
+            self._chunks[loc.id] = _RankChunk(
+                rank=loc.id,
+                n_events=loc_rec["n"],
+                offset=payload_start + (lo or 0),
+                length=(hi or 0) - (lo or 0),
+                columns={
+                    col: (
+                        payload_start + columns[col]["offset"],
+                        columns[col]["length"],
+                        columns[col]["dtype"],
+                    )
+                    for col in _BIN_COLUMNS
+                },
+            )
+        intervals.sort()
+        for prev, cur in zip(intervals, intervals[1:]):
+            if cur[0] < prev[1]:
+                raise TraceFormatError(
+                    f"overlapping chunks: location {prev[2]} column "
+                    f"{prev[3]} [{prev[0]}, {prev[1]}) overlaps location "
+                    f"{cur[2]} column {cur[3]} [{cur[0]}, {cur[1]})"
+                )
+
+    def _index_jsonl(self) -> None:
+        with open(self.path, "rb") as fp:
+            header_line = fp.readline()
+            if not header_line:
+                raise TraceFormatError("empty trace file")
+            try:
+                header = json.loads(header_line)
+            except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                raise TraceFormatError(f"corrupt header line: {err}") from err
+            _check_header(header)
+            self.name = header.get("name", "trace")
+            self.attributes = header.get("attributes", {})
+
+            while True:
+                offset = fp.tell()
+                raw = fp.readline()
+                if not raw:
+                    break
+                line = raw.strip()
+                if not line:
+                    continue
+                match = _EVENTS_PREFIX_RE.match(line.decode("utf-8", "replace"))
+                if match:
+                    loc_id, n = int(match.group(1)), int(match.group(2))
+                else:
+                    try:
+                        record = json.loads(line)
+                    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                        raise TraceFormatError(
+                            f"corrupt record at byte {offset}: {err}"
+                        ) from err
+                    if not isinstance(record, dict):
+                        raise TraceFormatError(
+                            f"non-object record: {line[:40]!r}"
+                        )
+                    if _add_definition_record(
+                        record, self.regions, self.metrics, self.locations
+                    ):
+                        continue
+                    if record.get("record") != "events":
+                        raise TraceFormatError(
+                            f"unknown record type {record.get('record')!r}"
+                        )
+                    loc_id = record["location"]
+                    n = record.get("n", len(record.get("time", ())))
+                if loc_id in self._chunks:
+                    raise TraceFormatError(
+                        f"overlapping chunks: duplicate events record for "
+                        f"location {loc_id}"
+                    )
+                self._chunks[loc_id] = _RankChunk(
+                    rank=loc_id, n_events=n, offset=offset, length=len(raw)
+                )
+        for loc_id in self._chunks:
+            if loc_id not in self.locations:
+                raise TraceFormatError(
+                    f"events for undefined location {loc_id}"
+                )
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def ranks(self) -> list[int]:
+        """Sorted list of location ids defined in the file."""
+        return sorted(self.locations)
+
+    @property
+    def num_events(self) -> int:
+        return sum(c.n_events for c in self._chunks.values())
+
+    def num_events_of(self, rank: int) -> int:
+        chunk = self._chunks.get(rank)
+        return chunk.n_events if chunk is not None else 0
+
+    def event_counts(self) -> dict[int, int]:
+        """``rank -> event count`` for every defined location."""
+        return {rank: self.num_events_of(rank) for rank in self.ranks}
+
+    def _new_trace(self) -> Trace:
+        return Trace(
+            regions=self.regions,
+            metrics=self.metrics,
+            name=self.name,
+            attributes=self.attributes,
+        )
+
+    def definitions_trace(self) -> Trace:
+        """Trace with all locations but empty event streams.
+
+        Enough for region/metric lookups, classifier masks and the
+        ``num_processes`` used by the dominant-function criterion.
+        """
+        trace = self._new_trace()
+        for rank in self.ranks:
+            trace.add_process(self.locations[rank], EventList.empty())
+        return trace
+
+    # -- loading -------------------------------------------------------
+
+    def _load_events_binary(self, fp, chunk: _RankChunk) -> EventList:
+        arrays = []
+        for col in _BIN_COLUMNS:
+            offset, length, dtype = chunk.columns[col]
+            fp.seek(offset)
+            raw = fp.read(length)
+            if len(raw) != length:
+                raise TraceFormatError(
+                    f"location {chunk.rank} column {col}: chunk is truncated"
+                )
+            try:
+                data = zlib.decompress(raw)
+            except zlib.error as err:
+                raise TraceFormatError(
+                    f"location {chunk.rank} column {col}: {err}"
+                ) from err
+            arr = np.frombuffer(
+                data,
+                dtype=parse_dtype(
+                    dtype,
+                    f"location {chunk.rank} column {col}",
+                    TraceFormatError,
+                ),
+            )
+            if len(arr) != chunk.n_events:
+                raise TraceFormatError(
+                    f"location {chunk.rank} column {col}: expected "
+                    f"{chunk.n_events} entries, found {len(arr)}"
+                )
+            arrays.append(arr)
+        return EventList(*arrays)
+
+    def _load_events_jsonl(self, fp, chunk: _RankChunk) -> EventList:
+        fp.seek(chunk.offset)
+        raw = fp.read(chunk.length)
+        try:
+            record = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise TraceFormatError(
+                f"location {chunk.rank}: corrupt events record: {err}"
+            ) from err
+        if record.get("location") != chunk.rank:
+            raise TraceFormatError(
+                f"location {chunk.rank}: chunk table out of sync"
+            )
+        return _events_from_record(record)
+
+    def load(self, ranks: Sequence[int] | None = None) -> Trace:
+        """Materialise a trace containing only ``ranks``.
+
+        ``None`` loads every rank (equivalent to the eager readers, and
+        bit-identical to them).  Requested ranks must be defined in the
+        file; locations without an events record yield empty streams.
+        """
+        wanted: Iterable[int] = self.ranks if ranks is None else ranks
+        wanted = list(wanted)
+        for rank in wanted:
+            if rank not in self.locations:
+                raise TraceFormatError(
+                    f"rank {rank} is not defined in {self.path!r}"
+                )
+        if len(set(wanted)) != len(wanted):
+            raise ValueError(f"duplicate ranks requested: {wanted!r}")
+        trace = self._new_trace()
+        with open(self.path, "rb") as fp:
+            for rank in sorted(wanted):
+                chunk = self._chunks.get(rank)
+                if chunk is None:
+                    events = EventList.empty()
+                elif self.format == "rpt":
+                    events = self._load_events_binary(fp, chunk)
+                else:
+                    events = self._load_events_jsonl(fp, chunk)
+                trace.add_process(self.locations[rank], events)
+        return trace
+
+
+def read_trace_ranks(
+    path: str | os.PathLike, ranks: Sequence[int] | None = None
+) -> Trace:
+    """Read only ``ranks`` of the trace at ``path`` (chunked path)."""
+    return TraceIndex(path).load(ranks)

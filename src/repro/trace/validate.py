@@ -54,7 +54,12 @@ class ValidationReport:
             raise ValueError(f"invalid trace:\n{lines}")
 
 
-def _check_stream(trace: Trace, rank: int, report: ValidationReport) -> None:
+def _check_stream(
+    trace: Trace,
+    rank: int,
+    report: ValidationReport,
+    known_ranks: frozenset[int] | set[int] | None = None,
+) -> None:
     ev = trace.events_of(rank)
     n = len(ev)
     if n == 0:
@@ -95,7 +100,7 @@ def _check_stream(trace: Trace, rank: int, report: ValidationReport) -> None:
         )
 
     p2p = (ev.kind == EventKind.SEND) | (ev.kind == EventKind.RECV)
-    known = set(trace.ranks)
+    known = set(trace.ranks) if known_ranks is None else set(known_ranks)
     if np.any(p2p):
         partners = ev.partner[p2p]
         unknown = [p for p in np.unique(partners) if int(p) not in known]
@@ -159,7 +164,11 @@ def _check_stream(trace: Trace, rank: int, report: ValidationReport) -> None:
         )
 
 
-def validate_trace(trace: Trace, allow_empty_streams: bool = False) -> ValidationReport:
+def validate_trace(
+    trace: Trace,
+    allow_empty_streams: bool = False,
+    known_ranks: frozenset[int] | set[int] | None = None,
+) -> ValidationReport:
     """Check structural invariants of ``trace``.
 
     Checks per stream: sorted timestamps, balanced and properly nested
@@ -171,6 +180,11 @@ def validate_trace(trace: Trace, allow_empty_streams: bool = False) -> Validatio
     allow_empty_streams:
         Suppress the ``empty-stream`` diagnostic (useful for filtered
         traces where some ranks legitimately end up empty).
+    known_ranks:
+        Rank set message partners are resolved against; defaults to the
+        ranks present in ``trace``.  The sharded engine validates each
+        sub-trace against the *global* rank set, so cross-shard
+        messages do not show up as ``bad-partner`` false positives.
     """
     report = ValidationReport()
     if trace.num_processes == 0:
@@ -179,7 +193,7 @@ def validate_trace(trace: Trace, allow_empty_streams: bool = False) -> Validatio
         )
         return report
     for rank in trace.ranks:
-        _check_stream(trace, rank, report)
+        _check_stream(trace, rank, report, known_ranks)
     if allow_empty_streams:
         report.issues = [i for i in report.issues if i.code != "empty-stream"]
     return report

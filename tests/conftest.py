@@ -15,6 +15,21 @@ from repro.trace.builder import TraceBuilder
 from repro.trace.definitions import Paradigm, RegionRole
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the golden analysis snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture()
 def fig1():
     return figure1_trace()

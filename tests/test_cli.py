@@ -108,6 +108,53 @@ class TestAnalyze:
         assert main(["analyze", str(trace_path), "--level", "1"]) == 0
 
 
+class TestShardFlags:
+    def test_analyze_sharded_matches_unsharded(self, trace_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        assert main(["analyze", str(trace_path)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["analyze", str(trace_path), "--shards", "3"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == plain
+
+    def test_analyze_memory_bound(self, trace_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        assert main(
+            ["analyze", str(trace_path), "--max-memory-mb", "0.2"]
+        ) == 0
+        assert "Dominant function selection" in capsys.readouterr().out
+
+    def test_compare_sharded(self, trace_path, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        other = tmp_path / "other.rpt"
+        assert main(["simulate", "synthetic", "--processes", "6",
+                     "--iterations", "8", "--seed", "6", "-o",
+                     str(other)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(trace_path), str(other),
+                     "--shards", "2"]) == 0
+        assert "total SOS" in capsys.readouterr().out
+
+    def test_baselines_sharded(self, trace_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        assert main(["baselines", str(trace_path), "--shards", "2"]) == 0
+
+    def test_bad_shard_values_rejected(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(
+            ["analyze", str(trace_path), "--max-memory-mb", "-1"]
+        ) == 2
+        assert "--max-memory-mb" in capsys.readouterr().err
+
+    def test_missing_file_with_shards(self, tmp_path, capsys):
+        assert main(
+            ["analyze", str(tmp_path / "nope.rpt"), "--shards", "2"]
+        ) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+
 class TestRenderConvertBaselines:
     def test_render(self, trace_path, tmp_path, capsys):
         out = tmp_path / "r"

@@ -1,0 +1,272 @@
+"""Differential suite: sharded analysis must equal unsharded, bitwise.
+
+The sharded engine's contract is *exact* reproduction — not "close
+enough" — because artifact cache keys and golden snapshots are shared
+between the two paths.  Every bundled workload scenario is analyzed
+unsharded and with several shard counts (including counts that do not
+divide the rank count) and every intermediate product is compared with
+``np.array_equal``.  A second block proves the streaming analyzer is
+batch-equivalent across chunk boundaries that split an invocation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import analyze_trace, compute_sos, segment_trace
+from repro.core.session import AnalysisSession
+from repro.core.streaming import StreamingAnalyzer
+from repro.profiles.replay import replay_trace
+from repro.trace import write_binary, write_jsonl
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+_STAT_COLUMNS = (
+    "count",
+    "inclusive_sum",
+    "exclusive_sum",
+    "inclusive_min",
+    "inclusive_max",
+)
+
+
+def _scenario_cosmo():
+    from repro.sim.workloads import cosmo_specs
+
+    return cosmo_specs.generate(processes=9, iterations=8)
+
+
+def _scenario_fd4():
+    from repro.sim.workloads import cosmo_specs_fd4
+
+    return cosmo_specs_fd4.generate(processes=12, iterations=6)
+
+
+def _scenario_wrf():
+    from repro.sim.workloads import wrf
+
+    return wrf.generate(processes=9, iterations=6)
+
+
+def _scenario_hybrid():
+    from repro.sim.workloads import hybrid_openmp
+
+    return hybrid_openmp.generate(ranks=6, iterations=8)
+
+
+def _scenario_synthetic():
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+    return generate(
+        SyntheticConfig(
+            ranks=8,
+            iterations=12,
+            base_compute=0.01,
+            slow_ranks={5: 1.6},
+            outliers={(2, 7): 0.05},
+            seed=3,
+        )
+    )
+
+
+SCENARIOS = {
+    "cosmo_specs": _scenario_cosmo,
+    "cosmo_specs_fd4": _scenario_fd4,
+    "wrf": _scenario_wrf,
+    "hybrid_openmp": _scenario_hybrid,
+    "synthetic": _scenario_synthetic,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS))
+def scenario(request):
+    """(name, trace, unsharded reference analysis) per workload."""
+    trace = SCENARIOS[request.param]()
+    return request.param, trace, analyze_trace(trace)
+
+
+def assert_identical_analysis(reference, candidate):
+    """Every product of two analyses must match bitwise."""
+    assert candidate.dominant_name == reference.dominant_name
+    assert candidate.selection.region == reference.selection.region
+
+    for col in _STAT_COLUMNS:
+        assert np.array_equal(
+            getattr(candidate.profile.stats, col),
+            getattr(reference.profile.stats, col),
+        ), f"profile column {col} differs"
+
+    assert candidate.sos.ranks == reference.sos.ranks
+    for rank in reference.sos.ranks:
+        ref, got = reference.sos[rank], candidate.sos[rank]
+        for arr in ("duration", "sync_time", "sos"):
+            assert np.array_equal(getattr(got, arr), getattr(ref, arr)), (
+                f"rank {rank} {arr} differs"
+            )
+        ref_seg = reference.segmentation[rank]
+        got_seg = candidate.segmentation[rank]
+        for arr in ("t_start", "t_stop", "invocation_row"):
+            assert np.array_equal(
+                getattr(got_seg, arr), getattr(ref_seg, arr)
+            ), f"rank {rank} segment {arr} differs"
+
+    ref_heat, ref_edges = reference.heat_matrix(bins=64)
+    got_heat, got_edges = candidate.heat_matrix(bins=64)
+    assert np.array_equal(got_edges, ref_edges)
+    assert np.array_equal(got_heat, ref_heat, equal_nan=True)
+
+    ref_imb, got_imb = reference.imbalance, candidate.imbalance
+    assert got_imb.imbalance_pct == ref_imb.imbalance_pct
+    assert [(h.rank, h.zscore) for h in got_imb.hot_ranks] == [
+        (h.rank, h.zscore) for h in ref_imb.hot_ranks
+    ]
+    assert len(got_imb.hot_segments) == len(ref_imb.hot_segments)
+
+    for trend_attr in ("trend", "duration_trend"):
+        ref_t = getattr(reference, trend_attr)
+        got_t = getattr(candidate, trend_attr)
+        assert got_t.slope == ref_t.slope
+        assert got_t.p_value == ref_t.p_value
+
+
+class TestShardedEqualsUnsharded:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_every_workload(self, scenario, shards):
+        name, trace, reference = scenario
+        candidate = AnalysisSession(trace, shards=shards).analysis()
+        assert_identical_analysis(reference, candidate)
+
+    def test_memory_bound_path(self, scenario):
+        name, trace, reference = scenario
+        total_events = sum(len(trace.events_of(r)) for r in trace.ranks)
+        # Budget that forces roughly four shards.
+        from repro.core.shard import BYTES_PER_EVENT
+
+        budget_mb = total_events * BYTES_PER_EVENT / 4 / 1e6
+        session = AnalysisSession(trace, max_memory_mb=budget_mb)
+        assert session._shard_engine().plan.num_shards > 1
+        assert_identical_analysis(reference, session.analysis())
+
+    def test_replay_tables_identical(self, scenario):
+        name, trace, reference = scenario
+        session = AnalysisSession(trace, shards=3)
+        direct = replay_trace(trace)
+        for rank, table in session.replay().items():
+            for col in ("region", "t_enter", "t_leave", "depth", "parent"):
+                assert np.array_equal(
+                    getattr(table, col), getattr(direct[rank], col)
+                )
+
+    def test_fingerprint_parity(self, scenario):
+        name, trace, reference = scenario
+        from repro.trace.fingerprint import fingerprint_trace
+
+        session = AnalysisSession(trace, shards=2)
+        assert (
+            session.fingerprint.hexdigest
+            == fingerprint_trace(trace).hexdigest
+        )
+
+
+class TestPathBasedSharding:
+    """File-backed sharded sessions: workers read only their ranks."""
+
+    @pytest.fixture(scope="class")
+    def on_disk(self, tmp_path_factory):
+        trace = _scenario_cosmo()
+        root = tmp_path_factory.mktemp("traces")
+        rpt = root / "run.rpt"
+        jsonl = root / "run.jsonl"
+        write_binary(trace, rpt)
+        write_jsonl(trace, jsonl)
+        return trace, analyze_trace(trace), rpt, jsonl
+
+    @pytest.mark.parametrize("fmt", ["rpt", "jsonl"])
+    def test_path_session_matches(self, on_disk, fmt, monkeypatch):
+        trace, reference, rpt, jsonl = on_disk
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        path = rpt if fmt == "rpt" else jsonl
+        session = AnalysisSession(None, source_path=path, shards=3)
+        assert_identical_analysis(reference, session.analysis())
+
+    def test_process_pool_workers(self, on_disk, monkeypatch):
+        trace, reference, rpt, _ = on_disk
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+        session = AnalysisSession(None, source_path=rpt, shards=2)
+        assert_identical_analysis(reference, session.analysis())
+
+    def test_warm_cache_crosses_modes(self, on_disk, tmp_path, monkeypatch):
+        trace, reference, rpt, _ = on_disk
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        cache = tmp_path / "cache"
+        cold = AnalysisSession(None, source_path=rpt, shards=3,
+                               cache_dir=cache)
+        assert_identical_analysis(reference, cold.analysis())
+        # Unsharded warm session reuses the shard workers' spill.
+        warm = AnalysisSession(trace, cache_dir=cache)
+        assert_identical_analysis(reference, warm.analysis())
+        assert warm.stats.computed.get("replay", 0) == 0
+        assert warm.stats.disk_hits.get("replay") == len(trace.ranks)
+
+
+class TestHypothesisTraces:
+    """Random synthetic configurations keep the differential property."""
+
+    @given(
+        ranks=st.integers(min_value=2, max_value=9),
+        iterations=st.integers(min_value=3, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+        shards=st.integers(min_value=1, max_value=5),
+        slow=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_synthetic(self, ranks, iterations, seed, shards, slow):
+        from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+        config = SyntheticConfig(
+            ranks=ranks,
+            iterations=iterations,
+            base_compute=0.01,
+            slow_ranks={ranks - 1: 1.5} if slow else {},
+            seed=seed,
+        )
+        trace = generate(config)
+        reference = analyze_trace(trace)
+        candidate = AnalysisSession(trace, shards=shards).analysis()
+        assert_identical_analysis(reference, candidate)
+
+
+class TestStreamingBatchEquivalence:
+    """Chunk boundaries that split an invocation must not matter."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _scenario_synthetic()
+
+    def _series(self, trace, chunk):
+        analyzer = StreamingAnalyzer(
+            trace.regions, trace.num_processes, dominant="iteration"
+        )
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            for i in range(0, len(events), chunk):
+                analyzer.feed(rank, events[i : i + chunk])
+        return {r: analyzer.sos_series(r) for r in trace.ranks}
+
+    @pytest.mark.parametrize("chunk", [1, 3, 7])
+    def test_odd_chunks_match_single_feed(self, trace, chunk):
+        # Chunks of 1/3/7 events are far smaller than one invocation
+        # (enter + leave + nested calls), so every boundary splits one.
+        whole = self._series(trace, chunk=10**9)
+        chunked = self._series(trace, chunk=chunk)
+        for rank in trace.ranks:
+            np.testing.assert_array_equal(chunked[rank], whole[rank])
+
+    def test_matches_offline_compute_sos(self, trace):
+        tables = replay_trace(trace)
+        region = trace.regions.id_of("iteration")
+        segmentation = segment_trace(tables, region)
+        offline = compute_sos(trace, segmentation, tables)
+        chunked = self._series(trace, chunk=5)
+        for rank in trace.ranks:
+            np.testing.assert_allclose(chunked[rank], offline[rank].sos)

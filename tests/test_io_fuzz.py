@@ -125,3 +125,143 @@ class TestJsonlFuzz:
             from repro.trace import validate_trace
 
             validate_trace(trace)
+
+
+def _rewrite_rpt_header(data: bytes, mutate) -> bytes:
+    """Decode an .rpt header JSON, apply ``mutate``, re-encode."""
+    import struct
+
+    assert data[:4] == b"RPTR"
+    version, hlen = struct.unpack_from("<HI", data, 4)
+    header = json.loads(data[10 : 10 + hlen])
+    mutate(header)
+    hb = json.dumps(header).encode("utf-8")
+    return data[:4] + struct.pack("<HI", version, len(hb)) + hb + data[10 + hlen :]
+
+
+class TestTraceIndexStrictness:
+    """The chunked reader must reject malformed per-rank chunk tables.
+
+    These are the failure modes a sharded worker would otherwise hit
+    deep inside replay: a manifest entry pointing past the end of a
+    truncated file, two entries claiming the same payload bytes, or a
+    rank appearing twice.  All must surface as ``TraceFormatError`` at
+    index or load time, never as silent garbage.
+    """
+
+    from repro.trace.reader import TraceIndex  # class attr for brevity
+
+    def _write(self, tmp_path, data: bytes):
+        path = tmp_path / "c.rpt"
+        path.write_bytes(data)
+        return path
+
+    def test_truncated_chunk_rejected(self, binary_bytes, tmp_path):
+        def mutate(header):
+            col = header["locations"][0]["columns"]["time"]
+            col["length"] = col["length"] + 10_000_000
+
+        path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
+        with pytest.raises(TraceFormatError, match="truncated"):
+            self.TraceIndex(path)
+
+    def test_truncated_payload_rejected(self, binary_bytes, tmp_path):
+        # Manifest intact, payload bytes cut off at the end.
+        path = self._write(tmp_path, binary_bytes[:-17])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            self.TraceIndex(path)
+
+    def test_overlapping_chunks_rejected(self, binary_bytes, tmp_path):
+        def mutate(header):
+            locs = header["locations"]
+            a = locs[0]["columns"]["time"]
+            b = locs[1]["columns"]["time"]
+            b["offset"] = a["offset"]  # second rank claims first's bytes
+
+        path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
+        with pytest.raises(TraceFormatError, match="overlap"):
+            self.TraceIndex(path)
+
+    def test_duplicate_location_rejected(self, binary_bytes, tmp_path):
+        def mutate(header):
+            header["locations"].append(header["locations"][0])
+
+        path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
+        with pytest.raises(TraceFormatError, match="duplicate"):
+            self.TraceIndex(path)
+
+    def test_negative_offset_rejected(self, binary_bytes, tmp_path):
+        def mutate(header):
+            header["locations"][0]["columns"]["time"]["offset"] = -4
+
+        path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
+        with pytest.raises(TraceFormatError, match="invalid chunk extent"):
+            self.TraceIndex(path)
+
+    def test_missing_column_rejected(self, binary_bytes, tmp_path):
+        def mutate(header):
+            del header["locations"][0]["columns"]["kind"]
+
+        path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
+        with pytest.raises(TraceFormatError, match="missing column"):
+            self.TraceIndex(path)
+
+    def test_wrong_event_count_rejected(self, binary_bytes, tmp_path):
+        def mutate(header):
+            header["locations"][0]["n"] += 1
+
+        path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
+        index = self.TraceIndex(path)  # manifest alone looks plausible
+        with pytest.raises(TraceFormatError, match="expected"):
+            index.load([index.ranks[0]])
+
+    def test_duplicate_jsonl_events_record_rejected(self, jsonl_text, tmp_path):
+        lines = jsonl_text.splitlines()
+        events_lines = [
+            ln for ln in lines if '"record": "events"' in ln
+            or '"record":"events"' in ln
+        ]
+        assert events_lines, "fixture trace has no events records"
+        path = tmp_path / "dup.jsonl"
+        path.write_text("\n".join([*lines, events_lines[0]]))
+        from repro.trace.reader import TraceIndex
+
+        with pytest.raises(TraceFormatError, match="duplicate"):
+            TraceIndex(path)
+
+    def test_requesting_unknown_rank_rejected(self, binary_bytes, tmp_path):
+        path = self._write(tmp_path, binary_bytes)
+        index = self.TraceIndex(path)
+        with pytest.raises(TraceFormatError, match="unknown"):
+            index.load([max(index.ranks) + 1])
+
+    @given(st.integers(min_value=0, max_value=4095), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_lazy_load_equals_eager_under_fuzz(
+        self, binary_bytes, tmp_path_factory, pos, value
+    ):
+        """Whenever both paths accept a (possibly corrupted) file, the
+        lazy per-rank loader must produce the same trace as the eager
+        reader — corruption must never desynchronise them silently."""
+        from repro.trace.reader import TraceIndex
+
+        data = bytearray(binary_bytes)
+        pos = pos % len(data)
+        if data[pos] == value:
+            value = (value + 1) % 256
+        data[pos] = value
+        path = tmp_path_factory.mktemp("lazyflip") / "c.rpt"
+        path.write_bytes(bytes(data))
+        try:
+            eager = read_binary(path)
+        except ACCEPTABLE:
+            eager = None
+        try:
+            lazy = TraceIndex(path).load()
+        except ACCEPTABLE:
+            lazy = None
+        if eager is None or lazy is None:
+            return  # at least one rejected; nothing to compare
+        assert sorted(lazy.ranks) == sorted(eager.ranks)
+        for rank in eager.ranks:
+            assert lazy.events_of(rank) == eager.events_of(rank)
