@@ -13,7 +13,6 @@ from repro.balance import (
     DynamicLoadBalancer,
     curve_order,
     imbalance_of,
-    partition_cost,
     partition_exact,
     partition_greedy,
     partition_uniform,

@@ -11,7 +11,6 @@ and record which one recovers the planted rank.
 import numpy as np
 
 from repro.core import analyze_trace, detect_imbalances
-from repro.core.imbalance import robust_zscores
 from repro.core.sos import RankSOS, SOSResult
 from repro.sim.workloads.synthetic import SyntheticConfig, generate
 

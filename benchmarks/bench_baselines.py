@@ -12,7 +12,6 @@ turned into a measurable table:
 * this work: rank + segment + trend localisation.
 """
 
-import numpy as np
 
 from repro.baselines import (
     analyze_profile_only,

@@ -5,7 +5,6 @@ exclusive 4) and benchmarks the profiling substrate that computes
 those quantities at scale.
 """
 
-import numpy as np
 
 from repro.paper import figure1_trace
 from repro.profiles import profile_trace

@@ -1,0 +1,94 @@
+"""E15 — tracelint throughput versus replay-based analysis.
+
+The lint pass exists to be a pre-flight gate, so its whole value rests
+on being much cheaper than the analysis it guards.  This benchmark
+measures, on a >= 500k-event synthetic trace:
+
+* full-rule-set lint wall-clock (in-memory and chunked-from-file),
+* the replay-based full analysis wall-clock on the same trace,
+* the resulting speedup factor (acceptance target: >= 10x),
+* lint events/second throughput.
+
+The trace is generated healthy, so the run also re-asserts the
+"bundled workloads lint clean" contract at benchmark scale.
+
+Results land in ``benchmarks/results/E15_lint_throughput.txt`` and
+EXPERIMENTS.md (E15).
+"""
+
+import time
+
+import pytest
+
+from repro.core import analyze_trace
+from repro.lint import lint_path, lint_trace
+from repro.trace import write_binary
+
+TARGET_SPEEDUP = 10.0
+
+
+@pytest.fixture(scope="module")
+def big_trace(tmp_path_factory):
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+    config = SyntheticConfig(
+        ranks=16,
+        iterations=1500,
+        base_compute=0.001,
+        slow_ranks={11: 1.3},
+        seed=11,
+    )
+    trace = generate(config)
+    total = sum(len(trace.events_of(r)) for r in trace.ranks)
+    assert total >= 500_000, f"only {total} events"
+    path = tmp_path_factory.mktemp("lint_bench") / "big.rpt"
+    write_binary(trace, path)
+    return trace, path, total
+
+
+def _timed(fn, repeats=3):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return value, best
+
+
+def test_lint_vs_replay_throughput(big_trace, report):
+    trace, path, total = big_trace
+
+    lint_report, t_lint = _timed(lambda: lint_trace(trace))
+    assert lint_report.ok, lint_report.to_text()
+    assert lint_report.num_events == total
+
+    path_report, t_lint_path = _timed(lambda: lint_path(path))
+    assert path_report.ok, path_report.to_text()
+    assert path_report.diagnostics == lint_report.diagnostics
+
+    _, t_analyze = _timed(lambda: analyze_trace(trace), repeats=2)
+
+    speedup = t_analyze / t_lint
+    assert speedup >= TARGET_SPEEDUP, (
+        f"lint is only {speedup:.1f}x faster than replay analysis "
+        f"(target {TARGET_SPEEDUP}x)"
+    )
+
+    lines = [
+        f"trace: 16 ranks x 1500 iterations, {total} events",
+        f"rules run: {len(lint_report.rules_run)} (full default set)",
+        "",
+        f"{'pass':>28} | {'best of 3 (ms)':>14} | {'Mevents/s':>9}",
+        f"{'lint (in-memory)':>28} | {t_lint * 1e3:>14.1f} | "
+        f"{total / t_lint / 1e6:>9.2f}",
+        f"{'lint (chunked from .rpt)':>28} | {t_lint_path * 1e3:>14.1f} | "
+        f"{total / t_lint_path / 1e6:>9.2f}",
+        f"{'replay-based full analysis':>28} | {t_analyze * 1e3:>14.1f} | "
+        f"{total / t_analyze / 1e6:>9.2f}",
+        "",
+        f"lint speedup vs replay analysis: {speedup:.1f}x "
+        f"(target >= {TARGET_SPEEDUP:.0f}x)",
+        "diagnostics: 0 (healthy workload lints clean at this scale)",
+    ]
+    report("E15_lint_throughput", lines)

@@ -6,7 +6,6 @@ the claim for our implementation: end-to-end analysis throughput
 individual benchmarks of the two heaviest stages (replay, SOS).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import analyze_trace, compute_sos, segment_trace

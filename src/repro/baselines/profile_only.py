@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.imbalance import imbalance_percentage, robust_zscores
+from ..core.imbalance import robust_zscores
 from ..profiles.profile import TraceProfile, profile_trace
 from ..trace.definitions import Paradigm
 from ..trace.trace import Trace

@@ -44,7 +44,7 @@ class CLIError(Exception):
 
 def _version() -> str:
     try:
-        from importlib.metadata import PackageNotFoundError, version
+        from importlib.metadata import version
 
         return version("repro")
     except Exception:  # pragma: no cover - metadata missing in dev trees
@@ -185,6 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--bins", type=int, default=512)
     ana.add_argument("--parallel", type=int, default=None, metavar="N",
                      help="replay ranks with N worker threads")
+    ana.add_argument("--preflight", action="store_true",
+                     help="run the full tracelint rule set before analysing; "
+                     "error findings abort with exit code 2")
     _add_cache_arg(ana)
     _add_shard_args(ana)
 
@@ -207,6 +210,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     val = sub.add_parser("validate", help="check trace well-formedness")
     val.add_argument("trace")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis over the event stream (tracelint)",
+        description=(
+            "Scan a trace with the tracelint rule registry without "
+            "replaying it: structural well-formedness (TL0xx), MPI "
+            "message semantics (TL1xx) and the paper's analysis "
+            "preconditions (TL2xx).  Exit code: 0 clean, 1 warnings, "
+            "2 errors."
+        ),
+    )
+    lint.add_argument("trace")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="PATTERN",
+                      help="only run rules matching this fnmatch pattern "
+                      "(e.g. TL001 or 'TL1*'); repeatable")
+    lint.add_argument("--ignore", action="append", default=None,
+                      metavar="PATTERN",
+                      help="skip rules matching this pattern; repeatable")
+    lint.add_argument("--severity", default=None,
+                      choices=("info", "warning", "error"),
+                      help="report only findings at or above this severity")
+    lint.add_argument("--format", dest="fmt", default="text",
+                      choices=("text", "json", "sarif"),
+                      help="output format (default: text)")
+    lint.add_argument("--config", dest="lint_config", default=None,
+                      metavar="FILE",
+                      help="JSON file with LintConfig fields (select, "
+                      "ignore, severity_overrides, thresholds, ...)")
+    lint.add_argument("-o", "--output", default=None,
+                      help="write the report to this file instead of stdout")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the registered rules and exit")
+    _add_shard_args(lint)
 
     base = sub.add_parser("baselines", help="run the baseline analyses")
     base.add_argument("trace")
@@ -315,6 +353,14 @@ def _cmd_analyze(args) -> int:
     session = _session_for_path(
         args.trace, args, config=AnalysisConfig(level=args.level)
     )
+    if args.preflight:
+        report = session.preflight()
+        if report.diagnostics:
+            print(report.to_text())
+            if report.exit_code() >= 2:
+                print("preflight failed; aborting analysis", file=sys.stderr)
+                return EXIT_BAD_INPUT
+            print()
     trace = session.trace
     analysis = session.analysis(function=args.function or None)
     print(analysis.report())
@@ -397,6 +443,69 @@ def _cmd_validate(args) -> int:
     for issue in report.issues:
         print(issue)
     return 1
+
+
+def _lint_cli_config(args):
+    """Assemble a LintConfig from --config file and command-line flags."""
+    from .lint import LintConfig
+
+    if args.lint_config is not None:
+        try:
+            with open(args.lint_config, "r", encoding="utf-8") as fp:
+                data = json.load(fp)
+            config = LintConfig.from_mapping(data)
+        except FileNotFoundError:
+            raise CLIError(f"lint config not found: {args.lint_config}")
+        except (json.JSONDecodeError, TypeError, ValueError) as err:
+            raise CLIError(f"bad lint config {args.lint_config}: {err}")
+    else:
+        config = LintConfig()
+    overrides = {}
+    if args.select:
+        overrides["select"] = tuple(args.select)
+    if args.ignore:
+        overrides["ignore"] = tuple(args.ignore)
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _cmd_lint(args) -> int:
+    from .lint import Severity, all_rules, lint_path
+
+    if args.rules:
+        for rule in all_rules():
+            print(
+                f"{rule.code}  {rule.default_severity.name.lower():<7} "
+                f"{rule.category:<12} {rule.scope:<5} {rule.short_help}"
+            )
+        return 0
+    config = _lint_cli_config(args)
+    from .trace.reader import TraceFormatError
+
+    try:
+        report = lint_path(args.trace, config=config, **_shard_kwargs(args))
+    except FileNotFoundError:
+        raise CLIError(f"trace file not found: {args.trace}")
+    except IsADirectoryError:
+        raise CLIError(f"trace path is a directory: {args.trace}")
+    except (TraceFormatError, ValueError) as err:
+        raise CLIError(f"cannot read trace {args.trace}: {err}")
+    except OSError as err:
+        raise CLIError(f"cannot read trace {args.trace}: {err}")
+    if args.severity:
+        report = report.filtered(min_severity=Severity.parse(args.severity))
+    if args.fmt == "sarif":
+        rendered = report.to_sarif()
+    elif args.fmt == "json":
+        rendered = report.to_json()
+    else:
+        rendered = report.to_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return report.exit_code()
 
 
 def _cmd_baselines(args) -> int:
@@ -537,6 +646,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "info": _cmd_info,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
     "baselines": _cmd_baselines,
     "cache": _cmd_cache,
     "convert": _cmd_convert,

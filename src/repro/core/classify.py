@@ -13,8 +13,7 @@ narrow the set via name patterns or roles.
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -22,7 +22,7 @@ across processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -233,6 +233,7 @@ def analyze_trace(
     shards: int | None = None,
     max_memory_mb: float | None = None,
     source_path=None,
+    lint=None,
 ) -> VariationAnalysis:
     """Run the full performance-variation analysis on ``trace``.
 
@@ -261,11 +262,17 @@ def analyze_trace(
     source_path:
         Trace file to shard from; with it, ``trace`` may be ``None``
         and the parent process never materialises event streams.
+    lint:
+        ``True`` or a :class:`repro.lint.LintConfig` to run the full
+        tracelint rule set as the pre-flight gate (instead of only the
+        legacy structural checks); error-severity findings raise
+        :class:`repro.lint.LintError` before any replay happens.
 
     Raises
     ------
     ValueError
-        If the trace fails structural validation, or if no
+        If the trace fails structural validation (with ``lint``, a
+        :class:`repro.lint.LintError` subclass of it), or if no
         dominant-function candidate exists.
     """
     from .session import AnalysisSession
@@ -284,5 +291,6 @@ def analyze_trace(
         shards=shards,
         max_memory_mb=max_memory_mb,
         source_path=source_path,
+        lint=lint,
     )
     return session.analysis()

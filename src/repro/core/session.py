@@ -306,6 +306,12 @@ class AnalysisSession:
     memory_entries:
         Bound of the in-memory LRU holding per-region products
         (segmentations, SOS results, detections, trends, heat grids).
+    lint:
+        ``True`` or a :class:`repro.lint.LintConfig` to make the
+        pre-flight gate run the *full* tracelint rule set (structural +
+        MPI-semantic + paper-precondition rules) instead of the legacy
+        structural subset; error-severity findings raise
+        :class:`repro.lint.LintError`.  See also :meth:`preflight`.
 
     Examples
     --------
@@ -327,10 +333,18 @@ class AnalysisSession:
         shards: int | None = None,
         max_memory_mb: float | None = None,
         source_path: str | os.PathLike | None = None,
+        lint=None,
     ) -> None:
         from .pipeline import AnalysisConfig  # deferred: pipeline imports us
 
         self.config = config if config is not None else AnalysisConfig()
+        if lint is True:
+            from ..lint import LintConfig  # deferred: lint imports core
+
+            lint = LintConfig()
+        #: optional LintConfig; when set, the pre-flight gate runs the
+        #: full tracelint rule set instead of the legacy validate subset
+        self.lint_config = lint or None
         self.parallel = parallel
         self.shards = shards
         self.max_memory_mb = max_memory_mb
@@ -512,6 +526,10 @@ class AnalysisSession:
         if self._tables is not None:
             self.stats._bump(self.stats.memory_hits, "replay")
             return self._tables
+        # Path-mode sessions historically skipped validation until
+        # analysis(); gate replay (and thus profile) the same way so
+        # broken traces surface as diagnostics, not replay errors.
+        self._ensure_valid()
         if self.sharded:
             boot = self._shard_bootstrap()
             engine = self._shard_engine()
@@ -558,6 +576,7 @@ class AnalysisSession:
         if self._profile is not None:
             self.stats._bump(self.stats.memory_hits, "profile")
             return self._profile
+        self._ensure_valid()
         if self.sharded:
             boot = self._shard_bootstrap()
             tables: Mapping[int, InvocationTable] = _LazyTables(self)
@@ -764,8 +783,35 @@ class AnalysisSession:
 
     # -- assembled analyses --------------------------------------------
 
+    def preflight(self, config=None):
+        """Run the tracelint static-analysis pass over this session's trace.
+
+        Returns a :class:`repro.lint.LintReport`.  In sharded path mode
+        the per-rank scans fan out to the same worker pool the analysis
+        uses (:func:`repro.lint.lint_path`), so the parent never
+        materialises event streams.  Pass a
+        :class:`repro.lint.LintConfig` to override the session's
+        ``lint`` configuration for this call.
+        """
+        from ..lint import LintConfig, lint_path, lint_trace
+
+        cfg = config or self.lint_config or LintConfig()
+        if self.sharded and self.source_path is not None:
+            return lint_path(
+                self.source_path,
+                config=cfg,
+                shards=self.shards,
+                max_memory_mb=self.max_memory_mb,
+            )
+        return lint_trace(self.trace, config=cfg, source=self.source_path)
+
     def _ensure_valid(self) -> None:
         if not self.config.validate or self._validated:
+            return
+        if self.lint_config is not None:
+            self.preflight().raise_for_errors()
+            self.stats._bump(self.stats.computed, "validate")
+            self._validated = True
             return
         if self.sharded and self.trace.num_processes > 0:
             # Workers validate their sub-traces against the global rank

@@ -230,12 +230,15 @@ def _phase1_shard(payload: dict) -> dict:
 
     spill = ArtifactCache(payload["spill_dir"])
     trace = _load_shard_trace(payload)
-    issues: list[tuple[int, str, str]] = []
+    issues: list[tuple] = []
     if payload["validate"]:
         report = validate_trace(
             trace, known_ranks=frozenset(payload["known_ranks"])
         )
-        issues = [(i.rank, i.code, i.message) for i in report.issues]
+        issues = [
+            (i.rank, i.code, i.message, i.position, i.time)
+            for i in report.issues
+        ]
         if issues:
             # Replay of a structurally broken stream is undefined; let
             # the parent raise the aggregated validation error instead.
@@ -357,7 +360,8 @@ class ShardBootstrap:
     #: rank -> (n_events, first timestamp, last timestamp); lets the
     #: parent report trace totals without materialising any events
     extents: dict[int, tuple[int, float, float]]
-    issues: list[tuple[int, str, str]]
+    #: ValidationIssue field tuples: (rank, code, message, position, time)
+    issues: list[tuple[int, str, str, int, float | None]]
     replayed: int
     reused: int
 

@@ -32,7 +32,7 @@ function, the streamed SOS values equal
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,89 @@
+"""tracelint — rule-based static analysis over trace event streams.
+
+Linting answers "is this trace analyzable, and will the paper's
+pipeline produce meaningful output from it?" *without* replaying the
+trace.  Rules span three categories:
+
+``structural`` (TL0xx)
+    Well-formedness of the event streams: enter/leave balance,
+    timestamp order, dangling definition references.  These subsume
+    the legacy ``validate_trace`` checks.
+``mpi`` (TL1xx)
+    Message semantics: send/receive count matching per rank pair,
+    uniform collective participation, self-messages, zero-duration
+    synchronization storms.
+``precondition`` (TL2xx)
+    The paper's analysis preconditions: the ``2p`` dominant-function
+    invocation floor (Section IV), sync-classifier coverage
+    (Section V), aligned per-rank segment counts, clock skew.
+
+Quick start::
+
+    from repro.lint import lint_trace
+    report = lint_trace(trace)
+    print(report.to_text())
+    report.raise_for_errors()        # pre-flight gate
+
+or from the command line::
+
+    repro lint trace.jsonl --format sarif -o findings.sarif
+
+Custom rules register through the same decorator the built-ins use::
+
+    from repro.lint import Finding, register_rule, Severity
+
+    @register_rule("TL900", category="site", scope="rank",
+                   severity=Severity.WARNING)
+    def my_check(view):
+        "One-line help shown in --format sarif and docs."
+        if view.n > 10**9:
+            yield Finding("suspiciously gigantic stream")
+"""
+
+from .engine import (
+    LintShared,
+    RankSummary,
+    RankView,
+    TraceView,
+    finalize_report,
+    lint_path,
+    lint_trace,
+    scan_rank,
+    validate_config,
+)
+from .model import Diagnostic, LintConfig, LintError, LintReport, Severity
+from .registry import (
+    Finding,
+    Rule,
+    all_rules,
+    enabled_rules,
+    get_rule,
+    register_rule,
+    validate_subset_codes,
+)
+from .sarif import sarif_dict
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintConfig",
+    "LintError",
+    "LintReport",
+    "Finding",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "enabled_rules",
+    "validate_subset_codes",
+    "LintShared",
+    "RankSummary",
+    "RankView",
+    "TraceView",
+    "scan_rank",
+    "finalize_report",
+    "lint_trace",
+    "lint_path",
+    "validate_config",
+    "sarif_dict",
+]

@@ -1,0 +1,471 @@
+"""The tracelint execution engine.
+
+Linting is a single streaming pass over each rank's event columns —
+no stack replay, no segmentation.  Per rank the engine computes one
+:class:`RankView` (vectorised enter/leave pairing, reference masks)
+and one :class:`RankSummary` (cheap cross-rank partials: per-region
+invocation counts and times, message counts per partner, stream
+extent).  Rank-scoped rules consume the view; trace-scoped rules
+consume the merged summaries.  This split is exactly what makes
+linting shardable: workers scan their own ranks on chunked reads and
+ship back only diagnostics plus summaries, never event data.
+
+Entry points:
+
+* :func:`lint_trace` — lint an in-memory :class:`~repro.trace.trace.Trace`;
+* :func:`lint_path` — lint a trace file through the chunked reader,
+  optionally fanning the per-rank scans out to worker processes
+  (``shards``/``max_memory_mb`` mirror the analysis engine's knobs);
+* :func:`scan_rank` — the per-rank kernel, reused by the sharded
+  analysis engine's phase-1 workers for ``--preflight``.
+
+Diagnostics are sorted by ``(code, rank, position, message)`` before
+the report is assembled, so output is byte-identical regardless of
+shard count or worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..trace.definitions import MetricRegistry, RegionRegistry
+from ..trace.events import EventKind, EventList
+from ..trace.trace import Trace
+from .model import Diagnostic, LintConfig, LintReport
+from .registry import Finding, Rule, enabled_rules
+
+__all__ = [
+    "LintShared",
+    "RankSummary",
+    "RankView",
+    "TraceView",
+    "lint_trace",
+    "lint_path",
+    "scan_rank",
+    "finalize_report",
+    "validate_config",
+]
+
+
+@dataclass(frozen=True)
+class LintShared:
+    """Definition-level context shared by every rule invocation."""
+
+    num_regions: int
+    num_metrics: int
+    num_processes: int
+    region_names: tuple[str, ...]
+    region_paradigm: np.ndarray  # int8 per region
+    region_role: np.ndarray  # int8 per region
+    sync_mask: np.ndarray  # bool per region (classifier-selected)
+    known_ranks: frozenset[int]
+    config: LintConfig
+
+    @classmethod
+    def from_definitions(
+        cls,
+        regions: RegionRegistry,
+        metrics: MetricRegistry,
+        num_processes: int,
+        known_ranks: Iterable[int],
+        config: LintConfig,
+    ) -> "LintShared":
+        paradigm = np.asarray([int(r.paradigm) for r in regions], dtype=np.int8)
+        role = np.asarray([int(r.role) for r in regions], dtype=np.int8)
+        return cls(
+            num_regions=len(regions),
+            num_metrics=len(metrics),
+            num_processes=num_processes,
+            region_names=tuple(r.name for r in regions),
+            region_paradigm=paradigm,
+            region_role=role,
+            sync_mask=config.classifier.mask_registry(regions),
+            known_ranks=frozenset(int(r) for r in known_ranks),
+            config=config,
+        )
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Cross-rank partial of one rank's stream (picklable, mergeable).
+
+    Everything a trace-scoped rule needs, at a few hundred bytes per
+    rank — this is what shard workers return instead of event data.
+    """
+
+    rank: int
+    n_events: int
+    t_first: float
+    t_last: float
+    #: ENTER events per region id
+    enter_counts: np.ndarray
+    #: summed enter→leave durations per region id (zeros when the
+    #: stream is unsorted/unbalanced and pairing is impossible)
+    region_time: np.ndarray
+    balanced: bool
+    #: SEND count per partner rank / RECV count per partner rank
+    sends: dict[int, int] = field(default_factory=dict)
+    recvs: dict[int, int] = field(default_factory=dict)
+
+
+class RankView:
+    """Vectorised single-pass products over one rank's event stream.
+
+    Computed once per rank and handed to every rank-scoped rule, so no
+    rule re-derives the enter/leave pairing.  All computations guard
+    against unsorted, unbalanced or reference-broken streams — linting
+    must never crash on the inputs it exists to reject.
+    """
+
+    def __init__(self, shared: LintShared, rank: int, events: EventList) -> None:
+        self.shared = shared
+        self.rank = rank
+        self.events = events
+        n = len(events)
+        self.n = n
+        ev = events
+        self.sorted = bool(n < 2 or not np.any(np.diff(ev.time) < 0))
+        self.first_unsorted = (
+            -1
+            if self.sorted
+            else int(np.argmax(np.diff(ev.time) < 0)) + 1
+        )
+
+        kind = ev.kind
+        self.enter_mask = kind == np.uint8(EventKind.ENTER)
+        self.leave_mask = kind == np.uint8(EventKind.LEAVE)
+        self.enter_leave = self.enter_mask | self.leave_mask
+        self.metric_mask = kind == np.uint8(EventKind.METRIC)
+        self.p2p_mask = (kind == np.uint8(EventKind.SEND)) | (
+            kind == np.uint8(EventKind.RECV)
+        )
+        nr = shared.num_regions
+        self.bad_region = self.enter_leave & ((ev.ref < 0) | (ev.ref >= nr))
+        nm = shared.num_metrics
+        self.bad_metric = self.metric_mask & ((ev.ref < 0) | (ev.ref >= nm))
+
+        # -- enter/leave pairing (depth trick, as validate used to do) --
+        self.el_idx = np.flatnonzero(self.enter_leave)
+        self.underflow_index = -1  # absolute index of first orphan leave
+        self.open_count = 0  # regions still open at end of stream
+        self.first_unclosed = -1  # absolute index of first unmatched enter
+        self.balanced = False
+        self.enter_pos = np.empty(0, dtype=np.int64)  # into el_idx
+        self.leave_pos = np.empty(0, dtype=np.int64)
+        if self.sorted and len(self.el_idx):
+            kind_pm = np.where(
+                self.enter_mask[self.el_idx], 1, -1
+            ).astype(np.int64)
+            depth_after = np.cumsum(kind_pm)
+            underflow = np.flatnonzero(depth_after < 0)
+            if len(underflow):
+                self.underflow_index = int(self.el_idx[underflow[0]])
+            elif depth_after[-1] != 0:
+                self.open_count = int(depth_after[-1])
+                # An enter is unmatched iff the depth never drops below
+                # its own frame depth afterwards (reverse running min).
+                suffix_min = np.minimum.accumulate(depth_after[::-1])[::-1]
+                shifted = np.empty_like(suffix_min)
+                shifted[:-1] = suffix_min[1:]
+                shifted[-1] = np.iinfo(np.int64).max
+                unmatched = (kind_pm > 0) & (shifted >= depth_after)
+                first = np.flatnonzero(unmatched)
+                if len(first):
+                    self.first_unclosed = int(self.el_idx[first[0]])
+            else:
+                self.balanced = True
+                frame_depth = np.where(kind_pm > 0, depth_after, depth_after + 1)
+                order = np.argsort(frame_depth, kind="stable")
+                self.enter_pos = order[0::2]
+                self.leave_pos = order[1::2]
+
+        # -- per-invocation arrays (balanced streams only) --------------
+        if self.balanced:
+            refs = ev.ref[self.el_idx]
+            self.inv_region = refs[self.enter_pos]
+            self.inv_leave_region = refs[self.leave_pos]
+            t = ev.time[self.el_idx]
+            self.inv_enter_index = self.el_idx[self.enter_pos]
+            self.inv_leave_index = self.el_idx[self.leave_pos]
+            self.inv_duration = t[self.leave_pos] - t[self.enter_pos]
+            self.inv_valid = (self.inv_region >= 0) & (self.inv_region < nr)
+        else:
+            self.inv_region = np.empty(0, dtype=np.int32)
+            self.inv_leave_region = np.empty(0, dtype=np.int32)
+            self.inv_enter_index = np.empty(0, dtype=np.int64)
+            self.inv_leave_index = np.empty(0, dtype=np.int64)
+            self.inv_duration = np.empty(0, dtype=np.float64)
+            self.inv_valid = np.empty(0, dtype=bool)
+
+    def time_at(self, index: int) -> float | None:
+        if 0 <= index < self.n:
+            return float(self.events.time[index])
+        return None
+
+    def summary(self) -> RankSummary:
+        ev = self.events
+        nr = self.shared.num_regions
+        enter_refs = ev.ref[self.enter_mask]
+        valid_enters = enter_refs[(enter_refs >= 0) & (enter_refs < nr)]
+        enter_counts = np.bincount(valid_enters, minlength=nr).astype(np.int64)
+        region_time = np.zeros(nr, dtype=np.float64)
+        if self.balanced and len(self.inv_region):
+            sel = self.inv_valid
+            region_time = np.bincount(
+                self.inv_region[sel],
+                weights=self.inv_duration[sel],
+                minlength=nr,
+            ).astype(np.float64)
+        sends: dict[int, int] = {}
+        recvs: dict[int, int] = {}
+        send_mask = ev.kind == np.uint8(EventKind.SEND)
+        recv_mask = ev.kind == np.uint8(EventKind.RECV)
+        for mask, out in ((send_mask, sends), (recv_mask, recvs)):
+            if np.any(mask):
+                partners, counts = np.unique(ev.partner[mask], return_counts=True)
+                for p, c in zip(partners.tolist(), counts.tolist()):
+                    out[int(p)] = int(c)
+        return RankSummary(
+            rank=self.rank,
+            n_events=self.n,
+            t_first=float(ev.time[0]) if self.n else 0.0,
+            t_last=float(ev.time[-1]) if self.n else 0.0,
+            enter_counts=enter_counts,
+            region_time=region_time,
+            balanced=self.balanced,
+            sends=sends,
+            recvs=recvs,
+        )
+
+
+@dataclass(frozen=True)
+class TraceView:
+    """Merged cross-rank picture handed to trace-scoped rules."""
+
+    shared: LintShared
+    summaries: dict[int, RankSummary]
+
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self.summaries)
+
+    def total_enter_counts(self) -> np.ndarray:
+        total = np.zeros(self.shared.num_regions, dtype=np.int64)
+        for s in self.summaries.values():
+            total += s.enter_counts
+        return total
+
+    def total_region_time(self) -> np.ndarray:
+        total = np.zeros(self.shared.num_regions, dtype=np.float64)
+        for s in self.summaries.values():
+            total += s.region_time
+        return total
+
+    @property
+    def t_min(self) -> float:
+        lows = [s.t_first for s in self.summaries.values() if s.n_events]
+        return float(min(lows)) if lows else 0.0
+
+    @property
+    def t_max(self) -> float:
+        highs = [s.t_last for s in self.summaries.values() if s.n_events]
+        return float(max(highs)) if highs else 0.0
+
+
+def _stamp(
+    rule: Rule, config: LintConfig, finding: Finding, default_rank: int = -1
+) -> Diagnostic:
+    severity = finding.severity
+    if severity is None:
+        severity = config.severity_of(rule.code, rule.default_severity)
+    rank = finding.rank if finding.rank >= 0 else default_rank
+    return Diagnostic(
+        code=rule.code,
+        severity=severity,
+        message=finding.message,
+        rank=rank,
+        position=finding.position,
+        time=finding.time,
+        category=rule.category,
+    )
+
+
+def scan_rank(
+    shared: LintShared, rank: int, events: EventList
+) -> tuple[list[Diagnostic], RankSummary]:
+    """Run every enabled rank-scoped rule over one rank's stream."""
+    view = RankView(shared, rank, events)
+    diags: list[Diagnostic] = []
+    for rule in enabled_rules(shared.config, scope="rank"):
+        for finding in rule.check(view):
+            diags.append(_stamp(rule, shared.config, finding, default_rank=rank))
+    return diags, view.summary()
+
+
+def _trace_scope_diagnostics(
+    shared: LintShared, summaries: dict[int, RankSummary]
+) -> list[Diagnostic]:
+    tview = TraceView(shared, summaries)
+    diags: list[Diagnostic] = []
+    for rule in enabled_rules(shared.config, scope="trace"):
+        for finding in rule.check(tview):
+            diags.append(_stamp(rule, shared.config, finding))
+    return diags
+
+
+def finalize_report(
+    shared: LintShared,
+    rank_diags: Iterable[Diagnostic],
+    summaries: dict[int, RankSummary],
+    trace_name: str = "",
+    source: str | None = None,
+) -> LintReport:
+    """Run trace-scoped rules and assemble the sorted report."""
+    diags = list(rank_diags)
+    diags.extend(_trace_scope_diagnostics(shared, summaries))
+    diags.sort(key=lambda d: d.sort_key)
+    return LintReport(
+        diagnostics=tuple(diags),
+        rules_run=tuple(
+            r.code for r in enabled_rules(shared.config)
+        ),
+        num_events=sum(s.n_events for s in summaries.values()),
+        num_ranks=len(summaries),
+        trace_name=trace_name,
+        source=source,
+    )
+
+
+def lint_trace(
+    trace: Trace,
+    config: LintConfig | None = None,
+    known_ranks: Iterable[int] | None = None,
+    source: str | None = None,
+) -> LintReport:
+    """Statically lint an in-memory trace (no replay, single pass).
+
+    Parameters
+    ----------
+    config:
+        Rule selection, severity overrides and thresholds; defaults to
+        all rules at their default severities.
+    known_ranks:
+        Rank set message partners resolve against; defaults to the
+        ranks present.  The sharded engine passes the *global* rank
+        set so cross-shard partners are not misflagged.
+    """
+    config = config if config is not None else LintConfig()
+    ranks = trace.ranks
+    shared = LintShared.from_definitions(
+        trace.regions,
+        trace.metrics,
+        trace.num_processes,
+        ranks if known_ranks is None else known_ranks,
+        config,
+    )
+    diags: list[Diagnostic] = []
+    summaries: dict[int, RankSummary] = {}
+    for rank in ranks:
+        rank_diags, summary = scan_rank(shared, rank, trace.events_of(rank))
+        diags.extend(rank_diags)
+        summaries[rank] = summary
+    return finalize_report(
+        shared, diags, summaries, trace_name=trace.name, source=source
+    )
+
+
+def validate_config(allow_empty_streams: bool = False) -> LintConfig:
+    """Config reproducing the legacy ``validate_trace`` behaviour: only
+    the error-severity structural subset of the registry."""
+    from .registry import validate_subset_codes
+
+    return LintConfig(
+        select=validate_subset_codes(),
+        allow_empty_streams=allow_empty_streams,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sharded path-mode linting
+# ---------------------------------------------------------------------------
+
+
+def _lint_shard_worker(payload: dict) -> dict:
+    """Scan one rank group read through the chunked reader.
+
+    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it by reference; returns diagnostics and summaries only.
+    """
+    from ..trace.reader import TraceIndex
+
+    index = TraceIndex(payload["path"])
+    sub = index.load(payload["ranks"])
+    shared = LintShared.from_definitions(
+        sub.regions,
+        sub.metrics,
+        payload["num_processes"],
+        payload["known_ranks"],
+        payload["config"],
+    )
+    diags: list[Diagnostic] = []
+    summaries: dict[int, RankSummary] = {}
+    for rank in sorted(payload["ranks"]):
+        rank_diags, summary = scan_rank(shared, rank, sub.events_of(rank))
+        diags.extend(rank_diags)
+        summaries[rank] = summary
+    return {"diags": diags, "summaries": summaries, "name": sub.name}
+
+
+def lint_path(
+    path: str | os.PathLike,
+    config: LintConfig | None = None,
+    shards: int | None = None,
+    max_memory_mb: float | None = None,
+    workers: int | None = None,
+) -> LintReport:
+    """Lint a trace file through the chunked reader.
+
+    With ``shards``/``max_memory_mb`` the per-rank scans run in worker
+    processes that each read only their rank group's bytes — the same
+    partitioning the analysis engine uses (:func:`repro.core.shard.plan_shards`).
+    Diagnostics are byte-identical for any shard count.
+    """
+    from ..core.shard import _run_shard_tasks, plan_shards, shard_workers
+
+    from ..trace.reader import TraceIndex
+
+    config = config if config is not None else LintConfig()
+    path = os.fspath(path)
+    index = TraceIndex(path)
+    counts = index.event_counts()
+    plan = plan_shards(counts, shards=shards, max_memory_mb=max_memory_mb)
+    known = plan.ranks
+    payloads = [
+        {
+            "path": path,
+            "ranks": tuple(group),
+            "known_ranks": known,
+            "num_processes": len(counts),
+            "config": config,
+        }
+        for group in plan.groups
+    ]
+    nworkers = shard_workers(plan.num_shards) if workers is None else workers
+    diags: list[Diagnostic] = []
+    summaries: dict[int, RankSummary] = {}
+    name = ""
+    for res in _run_shard_tasks(_lint_shard_worker, payloads, nworkers):
+        diags.extend(res["diags"])
+        summaries.update(res["summaries"])
+        name = res["name"] or name
+    defs = index.definitions_trace()
+    shared = LintShared.from_definitions(
+        defs.regions, defs.metrics, len(counts), known, config
+    )
+    return finalize_report(
+        shared, diags, summaries, trace_name=defs.name, source=path
+    )

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-import numpy as np
 
 from ..trace.trace import Trace
 from .replay import InvocationTable, replay_trace

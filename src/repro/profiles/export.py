@@ -12,9 +12,7 @@ import json
 import os
 from typing import TYPE_CHECKING
 
-import numpy as np
 
-from ..trace.definitions import Paradigm
 from .profile import TraceProfile
 
 if TYPE_CHECKING:  # pragma: no cover

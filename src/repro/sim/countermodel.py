@@ -12,7 +12,7 @@ so the case-study signatures emerge naturally:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ..trace.definitions import MetricMode

@@ -20,13 +20,12 @@ the blocked operations.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable
+from typing import Callable, Generator
 
 from ..trace.builder import ProcessBuilder, TraceBuilder
-from ..trace.definitions import MetricMode, Paradigm, RegionRole
+from ..trace.definitions import Paradigm
 from ..trace.trace import Trace
 from . import ops
 from .countermodel import CounterSet

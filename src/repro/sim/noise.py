@@ -14,7 +14,7 @@ advances counters (the engine attributes counters to active time only).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

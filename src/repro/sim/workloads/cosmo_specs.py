@@ -15,7 +15,7 @@ MPI, which is precisely the Figure-4 picture:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,8 +10,8 @@ NumPy lookup tables.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterator
 
 __all__ = [
     "Paradigm",

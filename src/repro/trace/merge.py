@@ -8,7 +8,7 @@ re-maps event references accordingly, producing one coherent trace.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

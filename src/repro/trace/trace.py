@@ -8,20 +8,13 @@ OTF2 archive in the Score-P world.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterator, Mapping
 
 import numpy as np
 
-from .definitions import (
-    Location,
-    Metric,
-    MetricRegistry,
-    Paradigm,
-    Region,
-    RegionRegistry,
-)
-from .events import EventKind, EventList
+from .definitions import Location, MetricRegistry, Paradigm, RegionRegistry
+from .events import EventList
 
 __all__ = ["Trace", "ProcessTrace"]
 

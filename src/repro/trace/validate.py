@@ -1,18 +1,26 @@
-"""Well-formedness validation of traces.
+"""Well-formedness validation of traces (legacy shim).
 
 Measurement systems occasionally produce broken traces (dropped
 buffers, unbalanced enter/leave, dangling references).  The analysis
 pipeline calls :func:`validate_trace` up front so problems surface as
 clear diagnostics instead of IndexErrors deep inside stack replay.
+
+.. deprecated::
+    The checks themselves now live in the rule registry of
+    :mod:`repro.lint`; :func:`validate_trace` is a compatibility shim
+    that runs the error-severity structural subset of the lint rules
+    (the ones declaring a ``legacy_code``) and translates the
+    diagnostics back to :class:`ValidationIssue` objects under their
+    historical codes.  New code should call
+    :func:`repro.lint.lint_trace` directly — it adds MPI-semantic and
+    paper-precondition rules, severity filtering and SARIF output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
-import numpy as np
-
-from .events import EventKind
 from .trace import Trace
 
 __all__ = ["ValidationIssue", "ValidationReport", "validate_trace"]
@@ -20,15 +28,37 @@ __all__ = ["ValidationIssue", "ValidationReport", "validate_trace"]
 
 @dataclass(frozen=True, slots=True)
 class ValidationIssue:
-    """One detected problem in a trace."""
+    """One detected problem in a trace.
+
+    ``position`` is the index of the offending event inside the rank's
+    stream (-1 when the issue has no single anchor event) and ``time``
+    that event's timestamp — both carried over from the underlying
+    lint diagnostic so operators can seek straight to the problem.
+    """
 
     rank: int  # -1 for trace-global issues
     code: str
     message: str
+    position: int = -1
+    time: float | None = None
 
     def __str__(self) -> str:
         where = f"rank {self.rank}" if self.rank >= 0 else "trace"
-        return f"[{self.code}] {where}: {self.message}"
+        loc = ""
+        if self.position >= 0:
+            loc = f" @ event {self.position}"
+        if self.time is not None:
+            loc += f" (t={self.time:.6g})"
+        return f"[{self.code}] {where}{loc}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "rank": self.rank,
+            "position": self.position,
+            "time": self.time,
+            "message": self.message,
+        }
 
 
 @dataclass(slots=True)
@@ -53,115 +83,8 @@ class ValidationReport:
             lines = "\n".join(str(issue) for issue in self.issues)
             raise ValueError(f"invalid trace:\n{lines}")
 
-
-def _check_stream(
-    trace: Trace,
-    rank: int,
-    report: ValidationReport,
-    known_ranks: frozenset[int] | set[int] | None = None,
-) -> None:
-    ev = trace.events_of(rank)
-    n = len(ev)
-    if n == 0:
-        report.issues.append(
-            ValidationIssue(rank, "empty-stream", "location has no events")
-        )
-        return
-
-    if np.any(np.diff(ev.time) < 0):
-        report.issues.append(
-            ValidationIssue(rank, "time-order", "timestamps not sorted")
-        )
-        return  # replay below would be meaningless
-
-    num_regions = len(trace.regions)
-    num_metrics = len(trace.metrics)
-    enter_leave = (ev.kind == EventKind.ENTER) | (ev.kind == EventKind.LEAVE)
-    bad_region = enter_leave & ((ev.ref < 0) | (ev.ref >= num_regions))
-    if np.any(bad_region):
-        first = int(np.argmax(bad_region))
-        report.issues.append(
-            ValidationIssue(
-                rank,
-                "bad-region-ref",
-                f"event {first} references undefined region {int(ev.ref[first])}",
-            )
-        )
-    metric_mask = ev.kind == EventKind.METRIC
-    bad_metric = metric_mask & ((ev.ref < 0) | (ev.ref >= num_metrics))
-    if np.any(bad_metric):
-        first = int(np.argmax(bad_metric))
-        report.issues.append(
-            ValidationIssue(
-                rank,
-                "bad-metric-ref",
-                f"event {first} references undefined metric {int(ev.ref[first])}",
-            )
-        )
-
-    p2p = (ev.kind == EventKind.SEND) | (ev.kind == EventKind.RECV)
-    known = set(trace.ranks) if known_ranks is None else set(known_ranks)
-    if np.any(p2p):
-        partners = ev.partner[p2p]
-        unknown = [p for p in np.unique(partners) if int(p) not in known]
-        if unknown:
-            report.issues.append(
-                ValidationIssue(
-                    rank,
-                    "bad-partner",
-                    f"messages reference unknown locations {sorted(map(int, unknown))}",
-                )
-            )
-
-    # Stack checks, vectorised: depth balance first, then region
-    # matching via the same depth-pairing trick the replay uses
-    # (events at one frame depth alternate enter/leave; adjacent pairs
-    # must reference the same region).  This avoids a Python-level
-    # loop over every event — validation used to dominate the analysis
-    # time of million-event traces.
-    el_idx = np.flatnonzero(enter_leave)
-    if len(el_idx) == 0:
-        return
-    kind_pm = np.where(ev.kind[el_idx] == EventKind.ENTER, 1, -1).astype(
-        np.int64
-    )
-    depth_after = np.cumsum(kind_pm)
-    underflow = np.flatnonzero(depth_after < 0)
-    if len(underflow):
-        report.issues.append(
-            ValidationIssue(
-                rank,
-                "unmatched-leave",
-                f"leave at event {int(el_idx[underflow[0]])} with empty stack",
-            )
-        )
-        return
-    if depth_after[-1] != 0:
-        report.issues.append(
-            ValidationIssue(
-                rank,
-                "unclosed-regions",
-                f"{int(depth_after[-1])} regions still open at end of stream",
-            )
-        )
-        return
-    frame_depth = np.where(kind_pm > 0, depth_after, depth_after + 1)
-    order = np.argsort(frame_depth, kind="stable")
-    enter_pos = order[0::2]
-    leave_pos = order[1::2]
-    refs = ev.ref[el_idx]
-    mismatched = refs[enter_pos] != refs[leave_pos]
-    if np.any(mismatched):
-        first = int(np.argmax(mismatched))
-        report.issues.append(
-            ValidationIssue(
-                rank,
-                "mismatched-leave",
-                f"event {int(el_idx[leave_pos[first]])} leaves region "
-                f"{int(refs[leave_pos[first]])} but region "
-                f"{int(refs[enter_pos[first]])} is open",
-            )
-        )
+    def to_dict(self) -> dict[str, Any]:
+        return {"ok": self.ok, "issues": [i.to_dict() for i in self.issues]}
 
 
 def validate_trace(
@@ -173,7 +96,9 @@ def validate_trace(
 
     Checks per stream: sorted timestamps, balanced and properly nested
     enter/leave pairs, and that all region/metric/partner references
-    resolve against the definitions.
+    resolve against the definitions.  Implemented as the structural
+    subset of the :mod:`repro.lint` rule registry (see the module
+    deprecation note); issue codes keep their historical names.
 
     Parameters
     ----------
@@ -186,14 +111,22 @@ def validate_trace(
         sub-trace against the *global* rank set, so cross-shard
         messages do not show up as ``bad-partner`` false positives.
     """
-    report = ValidationReport()
-    if trace.num_processes == 0:
-        report.issues.append(
-            ValidationIssue(-1, "no-processes", "trace has no locations")
+    from ..lint import all_rules, lint_trace, validate_config
+
+    legacy_of = {r.code: r.legacy_code for r in all_rules()}
+    report = lint_trace(
+        trace,
+        config=validate_config(allow_empty_streams=allow_empty_streams),
+        known_ranks=known_ranks,
+    )
+    issues = [
+        ValidationIssue(
+            rank=d.rank,
+            code=legacy_of.get(d.code) or d.code,
+            message=d.message,
+            position=d.position,
+            time=d.time,
         )
-        return report
-    for rank in trace.ranks:
-        _check_stream(trace, rank, report, known_ranks)
-    if allow_empty_streams:
-        report.issues = [i for i in report.issues if i.code != "empty-stream"]
-    return report
+        for d in report.diagnostics
+    ]
+    return ValidationReport(issues=issues)

@@ -3,13 +3,11 @@
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from .canvas import Canvas
-from .colors import BACKGROUND
 
 __all__ = [
     "ChartLayout",

@@ -16,7 +16,7 @@ import os
 import numpy as np
 
 from .canvas import Canvas
-from .colors import COLD_HOT, Colormap, NAN_COLOR, hex_color
+from .colors import COLD_HOT, Colormap, hex_color
 from .figure import (
     ChartLayout,
     draw_time_axis,

@@ -7,12 +7,11 @@ small hand-built traces instead.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.paper import figure1_trace, figure2_trace, figure3_trace
 from repro.trace.builder import TraceBuilder
-from repro.trace.definitions import Paradigm, RegionRole
+from repro.trace.definitions import Paradigm
 
 
 def pytest_addoption(parser):

@@ -1,6 +1,5 @@
 """Tests for synchronization classification and dominant-function selection."""
 
-import numpy as np
 import pytest
 
 from repro.core.classify import SyncClassifier, default_classifier

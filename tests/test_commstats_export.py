@@ -8,7 +8,6 @@ import pytest
 
 from repro.core import analyze_trace, communication_matrix
 from repro.profiles import (
-    profile_trace,
     write_analysis_json,
     write_profile_csv,
     write_rank_summary_csv,

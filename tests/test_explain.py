@@ -1,6 +1,5 @@
 """Tests for the segment drill-down (explain_segment)."""
 
-import numpy as np
 import pytest
 
 from repro.core import analyze_trace, explain_segment

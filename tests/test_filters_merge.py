@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.paper import figure3_trace
 from repro.trace import (
     clip_trace,
     filter_regions,
@@ -12,7 +11,6 @@ from repro.trace import (
     validate_trace,
 )
 from repro.trace.builder import TraceBuilder
-from repro.trace.definitions import Paradigm
 
 
 class TestClipTrace:

@@ -5,7 +5,6 @@ baselines → render → export, in one flow per scenario.  These tests
 catch interface drift between subsystems that unit tests cannot see.
 """
 
-import json
 import os
 
 import numpy as np
@@ -21,12 +20,7 @@ from repro.core import (
 )
 from repro.core.streaming import StreamingAnalyzer
 from repro.htmlreport import render_html_report
-from repro.profiles import (
-    profile_trace,
-    write_profile_csv,
-    write_rank_summary_csv,
-    write_segments_csv,
-)
+from repro.profiles import write_profile_csv, write_rank_summary_csv, write_segments_csv
 from repro.sim.workloads.synthetic import SyntheticConfig, generate
 from repro.trace import (
     clip_trace,

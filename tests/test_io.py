@@ -2,18 +2,9 @@
 
 import io
 
-import numpy as np
 import pytest
 
-from repro.trace import (
-    EventList,
-    Location,
-    read_binary,
-    read_jsonl,
-    read_trace,
-    write_binary,
-    write_jsonl,
-)
+from repro.trace import read_binary, read_jsonl, read_trace, write_binary, write_jsonl
 from repro.trace.binio import BinaryFormatError
 from repro.trace.reader import TraceFormatError, load_jsonl
 from repro.trace.writer import dump_jsonl

@@ -8,7 +8,6 @@ hang, or silently return garbage that later explodes in analysis.
 import json
 import zlib
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

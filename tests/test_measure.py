@@ -105,7 +105,7 @@ class TestMeasurement:
             assert rec.add_counter("flops", 50.0) == 150.0
             rec.sample("temperature", 62.5, unit="C")
         trace = m.finish()
-        from repro.core.metrics import metric_series, per_rank_metric_total
+        from repro.core.metrics import per_rank_metric_total
 
         assert per_rank_metric_total(trace, "flops")[0] == 150.0
         assert trace.metrics.get("flops").mode == MetricMode.ACCUMULATED

@@ -1,7 +1,6 @@
 """E1-E3: exact reproduction of the paper's illustrative figures."""
 
 import numpy as np
-import pytest
 
 from repro.core import analyze_trace
 from repro.paper import (

@@ -1,6 +1,5 @@
 """Tests for flat statistics, call trees and the profile facade."""
 
-import numpy as np
 import pytest
 
 from repro.profiles import (

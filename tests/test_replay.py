@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.profiles.replay import InvocationTable, match_invocations, replay_trace
+from repro.profiles.replay import match_invocations, replay_trace
 from repro.trace.builder import TraceBuilder
 from repro.trace.events import EventListBuilder
 

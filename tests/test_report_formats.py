@@ -1,6 +1,5 @@
 """Tests for the text report module and small formatting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.core import analyze_trace

@@ -7,7 +7,6 @@ that equality independent of how ranks are grouped — plus the shard
 planner and the engine's plumbing.
 """
 
-import os
 
 import numpy as np
 import pytest

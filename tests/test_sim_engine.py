@@ -1,9 +1,7 @@
 """Tests for the discrete-event MPI simulator engine."""
 
-import numpy as np
 import pytest
 
-from repro.core import analyze_trace
 from repro.profiles import profile_trace, replay_trace
 from repro.sim import ops
 from repro.sim.countermodel import CounterSet, CounterSpec, PAPI_TOT_CYC

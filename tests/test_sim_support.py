@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim import ops
-from repro.sim.countermodel import CounterSet, FPU_EXCEPTIONS, PAPI_TOT_CYC
+from repro.sim.countermodel import CounterSet, PAPI_TOT_CYC
 from repro.sim.network import NetworkModel
 from repro.sim.noise import (
     CompositeNoise,

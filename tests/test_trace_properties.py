@@ -1,12 +1,10 @@
 """Property-based tests of trace transformations and analysis invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.core import analyze_trace, compute_sos, segment_trace
-from repro.core.classify import default_classifier
-from repro.profiles import compute_statistics, profile_trace, replay_trace
+from repro.core import compute_sos, segment_trace
+from repro.profiles import compute_statistics, replay_trace
 from repro.trace import clip_trace, filter_regions, merge_traces, validate_trace
 from repro.trace.builder import TraceBuilder
 from repro.trace.definitions import Paradigm

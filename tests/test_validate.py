@@ -1,10 +1,8 @@
 """Tests for structural trace validation."""
 
-import numpy as np
 import pytest
 
 from repro.trace import Location, Trace, validate_trace
-from repro.trace.builder import TraceBuilder
 from repro.trace.events import EventKind, EventList, EventListBuilder
 
 

@@ -7,7 +7,6 @@ from repro.core import analyze_trace
 from repro.profiles import profile_trace, replay_trace
 from repro.sim.workloads.synthetic import SyntheticConfig, generate
 from repro.viz import (
-    COLD_HOT,
     heat_image,
     heat_to_ansi,
     match_messages,
