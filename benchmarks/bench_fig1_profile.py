@@ -10,8 +10,9 @@ from repro.paper import figure1_trace
 from repro.profiles import profile_trace
 
 
-def test_fig1_inclusive_exclusive(benchmark, report, cosmo_trace):
+def test_fig1_inclusive_exclusive(benchmark, report, bench_meta, cosmo_trace):
     profile = benchmark(profile_trace, cosmo_trace)
+    bench_meta(events=cosmo_trace.num_events)
 
     fig1 = profile_trace(figure1_trace())
     foo = fig1.stats.of("foo")

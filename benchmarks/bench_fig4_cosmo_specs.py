@@ -12,10 +12,11 @@ from repro.core import analyze_trace
 from repro.sim.workloads.cosmo_specs import HOT_RANKS, PEAK_RANK
 
 
-def test_fig4_cosmo_specs(benchmark, report, cosmo_trace):
+def test_fig4_cosmo_specs(benchmark, report, bench_meta, cosmo_trace):
     analysis = benchmark.pedantic(
         analyze_trace, args=(cosmo_trace,), rounds=3, iterations=1
     )
+    bench_meta(events=cosmo_trace.num_events)
 
     trace = analysis.trace
     d = trace.duration

@@ -17,7 +17,8 @@ from repro.profiles import profile_trace
 from repro.sim.countermodel import FPU_EXCEPTIONS
 
 
-def test_fig6_wrf(benchmark, report, wrf_trace, wrf_analysis):
+def test_fig6_wrf(benchmark, report, bench_meta, wrf_trace, wrf_analysis):
+    bench_meta(events=wrf_trace.num_events)
     matrix, _edges = benchmark(
         binned_metric_matrix, wrf_trace, FPU_EXCEPTIONS, bins=512
     )

@@ -30,10 +30,11 @@ def _trace(ranks, iterations):
     [(8, 50), (32, 50), (64, 100)],
     ids=["8rx50it", "32rx50it", "64rx100it"],
 )
-def test_analysis_scaling(benchmark, report, ranks, iterations):
+def test_analysis_scaling(benchmark, report, bench_meta, ranks, iterations):
     trace = _trace(ranks, iterations)
     analysis = benchmark(analyze_trace, trace)
     events = trace.num_events
+    bench_meta(events=events)
     rate = events / benchmark.stats["mean"]
     report(
         f"E10_scaling_{ranks}r_{iterations}it",
@@ -47,9 +48,10 @@ def test_analysis_scaling(benchmark, report, ranks, iterations):
     )
 
 
-def test_replay_stage(benchmark, cosmo_trace):
+def test_replay_stage(benchmark, bench_meta, cosmo_trace):
     """Stack replay is the dominant cost; track it in isolation."""
     tables = benchmark(replay_trace, cosmo_trace)
+    bench_meta(events=cosmo_trace.num_events)
     assert sum(len(t) for t in tables.values()) > 0
 
 

@@ -88,9 +88,10 @@ def _workload_lines(name, trace, tmp_root):
 
 
 def test_session_cache_speedups(
-    benchmark, report, cosmo_trace, wrf_trace, tmp_path_factory
+    benchmark, report, bench_meta, cosmo_trace, wrf_trace, tmp_path_factory
 ):
     tmp_root = tmp_path_factory.mktemp("session-bench")
+    bench_meta(events=cosmo_trace.num_events)
     lines = ["Session caching — cold vs warm, serial vs parallel replay", ""]
     lines += _workload_lines("W1 cosmo_specs", cosmo_trace, tmp_root)
     lines += _workload_lines("W2 wrf", wrf_trace, tmp_root)

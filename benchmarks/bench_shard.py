@@ -62,10 +62,16 @@ def _timed(fn, repeats=2):
     return value, best
 
 
-def test_shard_scaling(million_event_rpt, report):
+def test_shard_scaling(million_event_rpt, report, bench_meta):
     trace, path, total = million_event_rpt
 
     baseline, t_base = _timed(lambda: analyze_trace(trace))
+    bench_meta(
+        wall_s=t_base,
+        timer="best-of-2",
+        events=total,
+        trace_bytes=path.stat().st_size,
+    )
     base_heat, base_edges = baseline.heat_matrix(bins=128)
 
     # Parallelizable fraction: time phase 1 (replay + stats partials)

@@ -38,9 +38,10 @@ def stream_all(trace, chunk=256):
     return analyzer
 
 
-def test_streaming_analysis(benchmark, report):
+def test_streaming_analysis(benchmark, report, bench_meta):
     trace = _trace()
     analyzer = benchmark(stream_all, trace)
+    bench_meta(events=trace.num_events)
 
     assert len(analyzer.alerts) >= 1
     alert = analyzer.alerts[0]

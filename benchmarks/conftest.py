@@ -8,6 +8,9 @@ paper-versus-measured record under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -27,6 +30,82 @@ def report():
         print(text)
 
     return emit
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark records (BENCH_<name>.json)
+# ---------------------------------------------------------------------------
+
+_GIT_SHA: str | None = None
+_BENCH_RECORDS: dict[str, dict[str, dict]] = {}
+
+
+def _git_sha() -> str | None:
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        except Exception:
+            _GIT_SHA = ""
+    return _GIT_SHA or None
+
+
+@pytest.fixture
+def bench_meta(request):
+    """Attach metadata (events, trace_bytes, ...) to this test's record.
+
+    ``bench_meta(events=n, trace_bytes=m, **anything)`` merges the
+    fields into the test's entry in ``BENCH_<module>.json``; an
+    ``events`` count additionally derives ``events_per_s`` from the
+    recorded wall-clock.
+    """
+
+    def attach(**fields) -> None:
+        merged = getattr(request.node, "_bench_meta", {})
+        merged.update(fields)
+        request.node._bench_meta = merged
+
+    return attach
+
+
+@pytest.fixture(autouse=True)
+def _bench_record(request):
+    """Persist one JSON entry per benchmark test, keyed by module.
+
+    Every ``bench_<name>.py`` run leaves a ``BENCH_<name>.json`` next
+    to the text reports: wall-clock (pytest-benchmark's best round when
+    the ``benchmark`` fixture was used, the test duration otherwise),
+    optional events/s and trace size from :func:`bench_meta`, plus the
+    git revision — the cross-PR perf trajectory in machine form.
+    """
+    t0 = time.perf_counter()
+    yield
+    wall = time.perf_counter() - t0
+    module = request.module.__name__.rpartition(".")[2]
+    if not module.startswith("bench_"):
+        return
+    name = module[len("bench_"):]
+    entry: dict = {"wall_s": wall, "timer": "test"}
+    if "benchmark" in request.fixturenames:
+        stats = getattr(request.getfixturevalue("benchmark"), "stats", None)
+        if stats is not None:
+            entry = {"wall_s": float(stats.stats.min), "timer": "benchmark"}
+    entry.update(getattr(request.node, "_bench_meta", {}))
+    events = entry.get("events")
+    if events and entry["wall_s"] > 0 and "events_per_s" not in entry:
+        entry["events_per_s"] = events / entry["wall_s"]
+    record = _BENCH_RECORDS.setdefault(name, {})
+    record[request.node.name] = entry
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"bench": name, "git_sha": _git_sha(), "results": record}
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -53,12 +53,19 @@ def _version() -> str:
         return __version__
 
 
-def _load_trace(path: str):
-    """Read a trace, mapping unusable paths to a consistent CLIError."""
+def _load_trace(path: str, columns=None):
+    """Read a trace, mapping unusable paths to a consistent CLIError.
+
+    ``columns`` projects the load (chunked reader) to the named event
+    columns — commands that only touch a few columns pass their
+    declared set and skip decompressing the rest.
+    """
     from .trace import read_trace
-    from .trace.reader import TraceFormatError
+    from .trace.reader import TraceFormatError, TraceIndex
 
     try:
+        if columns is not None:
+            return TraceIndex(path).load(None, columns=columns)
         return read_trace(path)
     except FileNotFoundError:
         raise CLIError(f"trace file not found: {path}")
@@ -256,9 +263,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", required=True,
                        help="artifact cache directory")
 
-    conv = sub.add_parser("convert", help="convert between trace formats")
+    conv = sub.add_parser(
+        "convert",
+        help="convert between trace formats / .rpt versions",
+    )
     conv.add_argument("trace")
     conv.add_argument("-o", "--output", required=True)
+    conv.add_argument(
+        "--bin-version", type=int, choices=(1, 2), default=None,
+        help=".rpt format version to write (default: newest)")
+    conv.add_argument(
+        "--codec", action="append", default=None, metavar="[COLUMN=]CODEC",
+        help="v2 column codec: auto, raw or zlib; prefix with a column "
+             "name (e.g. time=raw) for per-column control (repeatable)")
+    conv.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the round-trip fingerprint check")
 
     expl = sub.add_parser("explain", help="break one segment down by region")
     expl.add_argument("trace")
@@ -293,15 +313,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _write_trace(trace, path: str) -> None:
+def _write_trace(trace, path: str, version=None, codec=None) -> None:
     from .trace import write_binary, write_jsonl
 
     if path.endswith(".rpt"):
-        write_binary(trace, path)
+        kwargs = {}
+        if version is not None:
+            kwargs["version"] = version
+        if codec is not None:
+            kwargs["codec"] = codec
+        write_binary(trace, path, **kwargs)
     elif path.endswith(".jsonl"):
+        if version is not None or codec is not None:
+            raise CLIError(
+                "--bin-version/--codec only apply to .rpt output"
+            )
         write_jsonl(trace, path)
     else:
         raise SystemExit(f"unknown output format (want .rpt or .jsonl): {path}")
+
+
+def _parse_codec_args(specs):
+    """Turn repeated ``[COLUMN=]CODEC`` flags into a write_binary codec.
+
+    A bare codec applies to every column; ``column=codec`` entries
+    override per column (unnamed columns stay on ``auto``).
+    """
+    if not specs:
+        return None
+    from .trace.binio import _COLUMNS
+
+    default = None
+    per_column: dict[str, str] = {}
+    for spec in specs:
+        column, sep, codec = spec.partition("=")
+        if not sep:
+            column, codec = None, spec
+        if codec not in ("auto", "raw", "zlib"):
+            raise CLIError(
+                f"unknown codec {codec!r} (want auto, raw or zlib)"
+            )
+        if column is None:
+            if default is not None:
+                raise CLIError("only one default --codec may be given")
+            default = codec
+        elif column not in _COLUMNS:
+            raise CLIError(f"unknown event column {column!r} in --codec")
+        else:
+            per_column[column] = codec
+    if not per_column:
+        return default
+    if default is not None:
+        return {col: per_column.get(col, default) for col in _COLUMNS}
+    return per_column
 
 
 def _cmd_simulate(args) -> int:
@@ -547,9 +611,30 @@ def _cmd_baselines(args) -> int:
 
 
 def _cmd_convert(args) -> int:
+    import os
+
     trace = _load_trace(args.trace)
-    _write_trace(trace, args.output)
-    print(f"wrote {args.output}")
+    codec = _parse_codec_args(args.codec)
+    _write_trace(trace, args.output, version=args.bin_version, codec=codec)
+    in_size = os.path.getsize(args.trace)
+    out_size = os.path.getsize(args.output)
+    delta = out_size - in_size
+    pct = (100.0 * delta / in_size) if in_size else 0.0
+    print(
+        f"wrote {args.output}: {out_size} bytes "
+        f"({in_size} in, {delta:+d} bytes, {pct:+.1f}%)"
+    )
+    if not args.no_verify:
+        from .trace.fingerprint import fingerprint_trace
+
+        original = fingerprint_trace(trace)
+        converted = fingerprint_trace(_load_trace(args.output))
+        if converted.hexdigest != original.hexdigest:
+            raise CLIError(
+                f"round-trip fingerprint mismatch: wrote "
+                f"{converted.short()} from {original.short()}"
+            )
+        print(f"round-trip fingerprint OK ({original.short()})")
     return 0
 
 
@@ -581,9 +666,9 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_monitor(args) -> int:
-    from .core.streaming import StreamingAnalyzer
+    from .core.streaming import STREAM_COLUMNS, StreamingAnalyzer
 
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, columns=STREAM_COLUMNS)
     analyzer = StreamingAnalyzer(
         trace.regions,
         trace.num_processes,

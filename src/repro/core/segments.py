@@ -116,8 +116,11 @@ def segment_rank(table: InvocationTable, rank: int, region: int) -> RankSegments
     mask = (table.region == region) & table.outermost
     rows = np.flatnonzero(mask)
     t_start = table.t_enter[rows]
-    order = np.argsort(t_start, kind="stable")
-    rows = rows[order]
+    if len(t_start) > 1 and np.any(np.diff(t_start) < 0):
+        # Replay emits tables in enter order, making this argsort the
+        # identity; only a table built in another order pays for it.
+        order = np.argsort(t_start, kind="stable")
+        rows = rows[order]
     return RankSegments(
         rank=rank,
         t_start=table.t_enter[rows],

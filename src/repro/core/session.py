@@ -83,7 +83,7 @@ _TABLE_COLUMNS = (
 #: Integral/bool columns to restore after the float64 round-trip.
 _TABLE_DTYPES = {
     "region": np.int32,
-    "depth": np.int64,
+    "depth": np.int32,
     "parent": np.int64,
     "outermost": np.bool_,
     "enter_index": np.int64,
@@ -377,6 +377,7 @@ class AnalysisSession:
         self._memo = _LRU(memory_entries)
         self._fingerprint: TraceFingerprint | None = None
         self._tables: dict[int, InvocationTable] | None = None
+        self._partials: dict[int, dict[str, np.ndarray]] | None = None
         self._profile: TraceProfile | None = None
         self._validated = False
         self._boot = None  # ShardBootstrap (lazy)
@@ -530,6 +531,9 @@ class AnalysisSession:
         # analysis(); gate replay (and thus profile) the same way so
         # broken traces surface as diagnostics, not replay errors.
         self._ensure_valid()
+        if self._tables is not None:
+            # The fused pass inside _ensure_valid already replayed.
+            return self._tables
         if self.sharded:
             boot = self._shard_bootstrap()
             engine = self._shard_engine()
@@ -585,14 +589,26 @@ class AnalysisSession:
             )
         else:
             tables = self.replay()
-            compute = lambda: compute_statistics(  # noqa: E731
-                self.trace, tables
-            )
+            if self._partials is not None:
+                partials = self._partials
+                compute = lambda: FunctionStatistics.from_partials(  # noqa: E731
+                    self.trace, partials
+                )
+            else:
+                compute = lambda: compute_statistics(  # noqa: E731
+                    self.trace, tables
+                )
         stats = self._stage(
             "stats",
             (),
             compute=compute,
-            disk_key=f"stats-{self.fingerprint.hexdigest}",
+            # The fingerprint costs a full hash over the event bytes;
+            # only pay for it when there is a disk cache to key.
+            disk_key=(
+                f"stats-{self.fingerprint.hexdigest}"
+                if self.cache is not None
+                else None
+            ),
             to_arrays=lambda s: s.to_arrays(),
             from_arrays=lambda arrays: FunctionStatistics.from_arrays(
                 self.trace, arrays
@@ -706,6 +722,8 @@ class AnalysisSession:
         disk_key = (
             f"sos-{self.fingerprint.hexdigest}"
             f"-{region}-{self._classifier_key(cls)}"
+            if self.cache is not None
+            else None
         )
         if self.sharded:
             compute = lambda: self._shard_sos(region, cls)  # noqa: E731
@@ -818,6 +836,13 @@ class AnalysisSession:
             # set during bootstrap; issues raise there.
             self._shard_bootstrap()
             return
+        if self.cache is None:
+            # No artifacts to key: fuse validation, replay and the
+            # statistics partials into one pass over the event streams
+            # (the cache path needs the fingerprint anyway, so the
+            # staged flow costs it nothing extra there).
+            self._fused_run()
+            return
         # Validity is a pure function of content, so a marker artifact
         # keyed by the fingerprint lets warm sessions skip the scan.
         marker = f"valid-{self.fingerprint.hexdigest}"
@@ -831,6 +856,25 @@ class AnalysisSession:
             self.cache.store(marker, {"ok": np.ones(1, dtype=np.int8)})
             self.stats._bump(self.stats.disk_writes, "validate")
         self._validated = True
+
+    def _fused_run(self) -> None:
+        """Single fused pass over the event streams (cache-less mode).
+
+        Validation, stack replay and the per-rank statistics partials
+        all come from one :func:`repro.core.fused.fused_bootstrap` call
+        sharing one enter/leave pairing per rank; results are bitwise
+        identical to the staged flow.
+        """
+        from .fused import fused_bootstrap
+
+        boot = fused_bootstrap(self.trace)
+        boot.report.raise_if_invalid()
+        self.stats._bump(self.stats.computed, "validate")
+        self._validated = True
+        ranks = self.trace.ranks
+        self._tables = {rank: boot.tables[rank] for rank in ranks}
+        self._partials = boot.partials
+        self.stats._bump(self.stats.computed, "replay", len(ranks))
 
     def analysis_for(self, selection: DominantSelection):
         """Assemble a :class:`VariationAnalysis` for an explicit selection.

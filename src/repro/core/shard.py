@@ -14,11 +14,11 @@ single-process pipeline.
 Why sharded == unsharded, exactly:
 
 * Replay, segmentation and SOS are per-rank-independent; workers run
-  the very same kernels (:func:`repro.profiles.replay.match_invocations`,
+  the very same kernels (:func:`repro.core.fused.fused_bootstrap`,
   :func:`repro.core.segments.segment_rank`,
   :func:`repro.core.sos.segment_sync_time`) on bit-identical event
   columns — the chunked reader decompresses/parses the same bytes as
-  the eager one.
+  the eager one, projected down to the columns those kernels read.
 * Profile statistics are *defined* as a rank-ascending merge of
   per-rank partials (:func:`repro.profiles.stats.merge_statistics_arrays`),
   so the grouping of ranks into shards cannot influence a single bit
@@ -49,12 +49,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..profiles.replay import InvocationTable, match_invocations
-from ..profiles.stats import rank_statistics_arrays
+from ..profiles.replay import REPLAY_COLUMNS, InvocationTable
 from ..trace.fingerprint import fingerprint_events
 from ..trace.filters import select_ranks
 from ..trace.trace import Trace
-from ..trace.validate import validate_trace
 from .classify import SyncClassifier
 from .segments import RankSegments, Segmentation, segment_rank
 from .sos import RankSOS, SOSResult, segment_sync_time
@@ -210,70 +208,88 @@ def shard_workers(num_shards: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _load_shard_trace(payload: dict) -> Trace:
-    trace = payload.get("trace")
-    if trace is not None:
-        return trace
-    from ..trace.reader import TraceIndex
-
-    return TraceIndex(payload["path"]).load(payload["ranks"])
-
-
 def _phase1_shard(payload: dict) -> dict:
     """Load, validate, replay and profile the ranks of one shard.
+
+    Runs the fused kernel (:func:`repro.core.fused.fused_bootstrap`):
+    one pass per rank covers validation, replay and the statistics
+    partial.  When the shard reads from a file, per-rank digests come
+    from :meth:`~repro.trace.reader.TraceIndex.rank_digest` (byte-based
+    for canonical binary files — no event materialisation) and the load
+    projects to the columns the fused pass actually reads.
 
     Returns per-rank event digests and statistics partials; the (much
     larger) invocation tables are spilled to the shard cache under
     their ``inv-{digest}`` keys instead of being pickled back.
     """
+    from ..lint.engine import lint_columns, validate_config
+    from .fused import fused_bootstrap
     from .session import ArtifactCache, _table_to_arrays
 
     spill = ArtifactCache(payload["spill_dir"])
-    trace = _load_shard_trace(payload)
-    issues: list[tuple] = []
-    if payload["validate"]:
-        report = validate_trace(
-            trace, known_ranks=frozenset(payload["known_ranks"])
-        )
-        issues = [
-            (i.rank, i.code, i.message, i.position, i.time)
-            for i in report.issues
-        ]
-        if issues:
-            # Replay of a structurally broken stream is undefined; let
-            # the parent raise the aggregated validation error instead.
-            return {"digests": {}, "partials": {}, "extents": {},
-                    "issues": issues, "replayed": 0, "reused": 0}
     n_regions = payload["n_regions"]
-    digests: dict[int, str] = {}
+    ranks = sorted(payload["ranks"])
+    if payload.get("trace") is not None:
+        trace = payload["trace"]
+        digests = {
+            r: fingerprint_events(trace.events_of(r)) for r in ranks
+        }
+    else:
+        from ..trace.reader import TraceIndex
+
+        index = TraceIndex(payload["path"])
+        digests = {r: index.rank_digest(r) for r in ranks}
+        if payload["validate"]:
+            columns = lint_columns(validate_config())
+        else:
+            columns = REPLAY_COLUMNS
+        trace = index.load(ranks, columns=columns)
+
+    # Spill hits skip replay entirely; the fused pass still validates
+    # those ranks (diagnostics are not cached), it just builds no table.
     partials: dict[int, dict[str, np.ndarray]] = {}
+    need: list[int] = []
+    for rank in ranks:
+        cached = spill.load(f"rankstats-{digests[rank]}")
+        if (
+            cached is not None
+            and len(cached.get("count", ())) == n_regions
+            and spill.contains(f"inv-{digests[rank]}")
+        ):
+            partials[rank] = cached
+        else:
+            need.append(rank)
+
+    boot = fused_bootstrap(
+        trace,
+        validate=payload["validate"],
+        known_ranks=frozenset(payload["known_ranks"]),
+        table_ranks=need,
+    )
+    issues = [
+        (i.rank, i.code, i.message, i.position, i.time)
+        for i in boot.report.issues
+    ]
+    if issues:
+        # Replay of a structurally broken stream is undefined; let
+        # the parent raise the aggregated validation error instead.
+        return {"digests": {}, "partials": {}, "extents": {},
+                "issues": issues, "replayed": 0, "reused": 0}
     extents: dict[int, tuple[int, float, float]] = {}
-    replayed = reused = 0
-    for rank in sorted(payload["ranks"]):
+    for rank in ranks:
         events = trace.events_of(rank)
-        digest = fingerprint_events(events)
-        digests[rank] = digest
         if len(events):
             extents[rank] = (
                 len(events), float(events.time[0]), float(events.time[-1])
             )
-        cached = spill.load(f"rankstats-{digest}")
-        if (
-            cached is not None
-            and len(cached.get("count", ())) == n_regions
-            and spill.contains(f"inv-{digest}")
-        ):
-            partials[rank] = cached
-            reused += 1
-            continue
-        table = match_invocations(events)
-        spill.store(f"inv-{digest}", _table_to_arrays(table))
-        partial = rank_statistics_arrays(table, n_regions)
-        spill.store(f"rankstats-{digest}", partial)
+    for rank in need:
+        spill.store(f"inv-{digests[rank]}", _table_to_arrays(boot.tables[rank]))
+        partial = boot.partials[rank]
+        spill.store(f"rankstats-{digests[rank]}", partial)
         partials[rank] = partial
-        replayed += 1
     return {"digests": digests, "partials": partials, "extents": extents,
-            "issues": issues, "replayed": replayed, "reused": reused}
+            "issues": issues, "replayed": len(need),
+            "reused": len(ranks) - len(need)}
 
 
 def _phase2_shard(payload: dict) -> dict:

@@ -41,7 +41,17 @@ from ..trace.events import EventKind, EventList
 from .classify import SyncClassifier, default_classifier
 from .imbalance import _MAD_SCALE
 
-__all__ = ["StreamAlert", "StreamedSegment", "StreamingAnalyzer"]
+__all__ = [
+    "STREAM_COLUMNS",
+    "StreamAlert",
+    "StreamedSegment",
+    "StreamingAnalyzer",
+]
+
+#: Event columns the streaming state machine reads; feeders (the
+#: ``repro monitor`` command in particular) may project their loads
+#: down to these.  The projection tests keep the set truthful.
+STREAM_COLUMNS = ("time", "kind", "ref")
 
 
 @dataclass(frozen=True, slots=True)

@@ -86,6 +86,86 @@ class TrendResult:
         )
 
 
+#: Cache for the pairwise index/denominator arrays shared by the
+#: Theil–Sen slope across repeated trend calls on equally long series.
+#: One entry only: both detect_trend invocations of an analysis run use
+#: the same series length, and the arrays are large (O(n²)).
+_PAIR_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+#: Below this length, count inversions by direct pairwise comparison.
+_INV_BRUTE = 64
+
+
+def _pair_arrays(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if n not in _PAIR_CACHE:
+        _PAIR_CACHE.clear()
+        lo, hi = np.triu_indices(n, 1)
+        dx = (hi - lo).astype(np.float64)
+        # int32 indices halve the gather traffic; n is ≪ 2^31.
+        _PAIR_CACHE[n] = (lo.astype(np.int32), hi.astype(np.int32), dx)
+    return _PAIR_CACHE[n]
+
+
+def _inversions(v: np.ndarray) -> tuple[int, np.ndarray]:
+    """Count pairs ``i < j`` with ``v[i] > v[j]``; also return sorted v.
+
+    Classic divide-and-conquer: cross-half inversions fall out of one
+    ``searchsorted`` against the sorted left half, so the whole count is
+    O(n log² n) with no n×n temporaries.
+    """
+    n = len(v)
+    if n < _INV_BRUTE:
+        if n < 2:
+            return 0, v.copy()
+        d = int(np.count_nonzero(np.triu(v[:, None] > v[None, :], k=1)))
+        return d, np.sort(v)
+    mid = n // 2
+    dl, left = _inversions(v[:mid])
+    dr, right = _inversions(v[mid:])
+    cross = int(np.sum(np.searchsorted(left, right, side="right"),
+                       dtype=np.int64))
+    d = dl + dr + (len(left) * len(right) - cross)
+    merged = np.empty(n, dtype=v.dtype)
+    take_left = np.searchsorted(
+        right, left, side="left"
+    ) + np.arange(len(left))
+    merged[take_left] = left
+    mask = np.ones(n, dtype=bool)
+    mask[take_left] = False
+    merged[mask] = right
+    return d, merged
+
+
+def _kendall_s(v: np.ndarray) -> int:
+    """Kendall's S = Σ_{i<j} sign(v_j - v_i), computed exactly.
+
+    With x strictly increasing, S equals the number of comparable pairs
+    minus twice the number of (strict) inversions of ``v``.  S is an
+    integer, and the legacy full-matrix float sum of ±1 terms is exact
+    (|S| ≪ 2^53), so this reproduces it bitwise without the n×n sign
+    matrix.
+    """
+    n = len(v)
+    inv, _ = _inversions(v)
+    _, counts = np.unique(v, return_counts=True)
+    ties = int(np.sum(counts * (counts - 1) // 2, dtype=np.int64))
+    comparable = n * (n - 1) // 2 - ties
+    return comparable - 2 * inv
+
+
+def _theil_sen_slope(series: np.ndarray) -> float:
+    """Theil–Sen slope of ``series`` against ``x = arange(n)``.
+
+    Bitwise-identical to ``scipy.stats.theilslopes(series, arange(n))[0]``:
+    the pairwise slope multiset ``(y_j - y_i) / (j - i)`` for i < j is
+    exactly the set scipy builds from its ``deltax > 0`` mask, and
+    ``np.median`` selects the same order statistics either way.
+    """
+    lo, hi, dx = _pair_arrays(len(series))
+    slopes = (series[hi] - series[lo]) / dx
+    return float(np.median(slopes))
+
+
 def mann_kendall(values: np.ndarray) -> tuple[float, float]:
     """Mann–Kendall monotonic-trend test.
 
@@ -98,8 +178,7 @@ def mann_kendall(values: np.ndarray) -> tuple[float, float]:
     n = len(v)
     if n < 3:
         return 0.0, 1.0
-    diff_sign = np.sign(v[None, :] - v[:, None])
-    s = float(np.sum(np.triu(diff_sign, k=1)))
+    s = float(_kendall_s(v))
 
     # Variance with tie correction.
     _, counts = np.unique(v, return_counts=True)
@@ -135,9 +214,7 @@ def detect_trend(sos: SOSResult, use_plain_duration: bool = False) -> TrendResul
     n = len(series)
     if n < 3:
         return TrendResult(0.0, 0.0, 0.0, 1.0, n)
-    slope, _intercept, _lo, _hi = _scipy_stats.theilslopes(
-        series, np.arange(n)
-    )
+    slope = _theil_sen_slope(series)
     tau, p = mann_kendall(series)
     med = float(np.median(series))
     rel = float(slope) / med if med else 0.0

@@ -46,9 +46,33 @@ __all__ = [
     "lint_trace",
     "lint_path",
     "scan_rank",
+    "scan_view",
     "finalize_report",
     "validate_config",
+    "LINT_COLUMNS",
+    "lint_columns",
 ]
+
+#: Event columns the view construction and summaries read regardless of
+#: which rules are enabled.  Individual rules declare anything extra via
+#: ``register_rule(..., columns=...)``; the projection tests keep both
+#: declarations truthful.
+LINT_COLUMNS = ("time", "kind", "ref", "partner")
+
+
+def lint_columns(config: LintConfig) -> tuple[str, ...]:
+    """Minimal event-column set needed to run ``config``'s rules.
+
+    Union of the view baseline (:data:`LINT_COLUMNS`) and the enabled
+    rank-scope rules' declared extras, in canonical column order so the
+    projection is deterministic.
+    """
+    from ..trace.events import _FIELDS
+
+    need = set(LINT_COLUMNS)
+    for rule in enabled_rules(config, scope="rank"):
+        need.update(rule.columns)
+    return tuple(f for f in _FIELDS if f in need)
 
 
 @dataclass(frozen=True)
@@ -156,6 +180,9 @@ class RankView:
         self.balanced = False
         self.enter_pos = np.empty(0, dtype=np.int64)  # into el_idx
         self.leave_pos = np.empty(0, dtype=np.int64)
+        #: running enter/leave depth over el_idx; kept on balanced
+        #: streams so the fused kernel can reuse the pairing for replay
+        self.depth_after = np.empty(0, dtype=np.int64)
         if self.sorted and len(self.el_idx):
             kind_pm = np.where(
                 self.enter_mask[self.el_idx], 1, -1
@@ -178,6 +205,7 @@ class RankView:
                     self.first_unclosed = int(self.el_idx[first[0]])
             else:
                 self.balanced = True
+                self.depth_after = depth_after
                 frame_depth = np.where(kind_pm > 0, depth_after, depth_after + 1)
                 order = np.argsort(frame_depth, kind="stable")
                 self.enter_pos = order[0::2]
@@ -294,16 +322,27 @@ def _stamp(
     )
 
 
+def scan_view(view: RankView) -> tuple[list[Diagnostic], RankSummary]:
+    """Run every enabled rank-scoped rule over an existing view.
+
+    Split out of :func:`scan_rank` so the fused analysis kernel can
+    build the view once and reuse its pairing for stack replay.
+    """
+    shared = view.shared
+    diags: list[Diagnostic] = []
+    for rule in enabled_rules(shared.config, scope="rank"):
+        for finding in rule.check(view):
+            diags.append(
+                _stamp(rule, shared.config, finding, default_rank=view.rank)
+            )
+    return diags, view.summary()
+
+
 def scan_rank(
     shared: LintShared, rank: int, events: EventList
 ) -> tuple[list[Diagnostic], RankSummary]:
     """Run every enabled rank-scoped rule over one rank's stream."""
-    view = RankView(shared, rank, events)
-    diags: list[Diagnostic] = []
-    for rule in enabled_rules(shared.config, scope="rank"):
-        for finding in rule.check(view):
-            diags.append(_stamp(rule, shared.config, finding, default_rank=rank))
-    return diags, view.summary()
+    return scan_view(RankView(shared, rank, events))
 
 
 def _trace_scope_diagnostics(
@@ -403,7 +442,7 @@ def _lint_shard_worker(payload: dict) -> dict:
     from ..trace.reader import TraceIndex
 
     index = TraceIndex(payload["path"])
-    sub = index.load(payload["ranks"])
+    sub = index.load(payload["ranks"], columns=lint_columns(payload["config"]))
     shared = LintShared.from_definitions(
         sub.regions,
         sub.metrics,

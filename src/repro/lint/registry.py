@@ -65,6 +65,9 @@ class Rule:
     check: Callable[..., Iterable[Finding]]
     #: legacy ``validate_trace`` issue code this rule subsumes, if any
     legacy_code: str | None = None
+    #: event columns the check reads beyond the view baseline
+    #: (time/kind/ref/partner); drives lazy column projection
+    columns: tuple[str, ...] = ()
 
     @property
     def short_help(self) -> str:
@@ -87,6 +90,7 @@ def register_rule(
     severity: Severity,
     legacy_code: str | None = None,
     name: str | None = None,
+    columns: tuple[str, ...] = (),
 ) -> Callable[[Callable[..., Iterable[Finding]]], Callable[..., Iterable[Finding]]]:
     """Class-of-2 decorator registering a check function as a rule.
 
@@ -111,6 +115,7 @@ def register_rule(
             default_severity=severity,
             check=fn,
             legacy_code=legacy_code,
+            columns=tuple(columns),
         )
         return fn
 

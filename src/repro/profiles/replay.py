@@ -25,7 +25,19 @@ import numpy as np
 from ..trace.events import EventKind, EventList
 from ..trace.trace import Trace
 
-__all__ = ["InvocationTable", "match_invocations", "replay_trace"]
+__all__ = [
+    "InvocationTable",
+    "match_invocations",
+    "replay_trace",
+    "table_from_pairing",
+    "REPLAY_COLUMNS",
+]
+
+#: Event columns stack replay actually reads.  Projected loads
+#: (``TraceIndex.load(..., columns=REPLAY_COLUMNS)``) may restrict the
+#: materialised columns to this set; the projection tests assert the
+#: declaration stays truthful.
+REPLAY_COLUMNS = ("time", "kind", "ref")
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,7 +119,7 @@ class InvocationTable:
             t_leave=z_f,
             inclusive=z_f,
             exclusive=z_f,
-            depth=z_i,
+            depth=np.empty(0, dtype=np.int32),
             parent=z_i,
             outermost=z_b,
             enter_index=z_i,
@@ -143,11 +155,12 @@ def _pair_by_depth(kind_pm: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndar
     leave_pos = order[1::2]
     if np.any(kind_pm[enter_pos] != 1) or np.any(kind_pm[leave_pos] != -1):
         raise ValueError("stream is not properly nested")
-    # Sort frames by enter position so parents precede children.
+    # Sort frames by enter position so parents precede children.  Depth
+    # is a lossless int32 downcast: real call stacks are far below 2^31.
     frame_order = np.argsort(enter_pos, kind="stable")
     enter_pos = enter_pos[frame_order]
     leave_pos = leave_pos[frame_order]
-    return enter_pos, leave_pos, frame_depth[enter_pos].astype(np.int64)
+    return enter_pos, leave_pos, frame_depth[enter_pos].astype(np.int32)
 
 
 def _parents(enter_pos: np.ndarray, leave_pos: np.ndarray, depth: np.ndarray) -> np.ndarray:
@@ -208,26 +221,14 @@ def _outermost_flags(
     return outer
 
 
-def match_invocations(events: EventList) -> InvocationTable:
-    """Build the invocation table for one process stream.
-
-    Raises
-    ------
-    ValueError
-        If the stream's enter/leave events are unbalanced or not
-        properly nested (run :func:`repro.trace.validate_trace` for a
-        precise diagnosis).
-    """
-    is_enter = events.kind == EventKind.ENTER
-    is_leave = events.kind == EventKind.LEAVE
-    el_mask = is_enter | is_leave
-    el_idx = np.flatnonzero(el_mask)
-    if len(el_idx) == 0:
-        return InvocationTable.empty()
-
-    kind_pm = np.where(is_enter[el_idx], 1, -1).astype(np.int64)
-    enter_pos, leave_pos, depth = _pair_by_depth(kind_pm)
-
+def _build_table(
+    events: EventList,
+    el_idx: np.ndarray,
+    enter_pos: np.ndarray,
+    leave_pos: np.ndarray,
+    depth: np.ndarray,
+) -> InvocationTable:
+    """Assemble the table from a pairing already sorted by enter position."""
     enter_index = el_idx[enter_pos]
     leave_index = el_idx[leave_pos]
     region_enter = events.ref[enter_index]
@@ -248,18 +249,73 @@ def match_invocations(events: EventList) -> InvocationTable:
 
     outermost = _outermost_flags(region_enter, t_enter, t_leave)
 
+    # The gathers above already produced fresh arrays of the canonical
+    # dtypes (ref is int32, time float64, el_idx int64), so no astype
+    # round-trips are needed — asarray is a no-op unless a caller fed
+    # non-canonical columns.
     return InvocationTable(
-        region=region_enter.astype(np.int32),
-        t_enter=t_enter.astype(np.float64),
-        t_leave=t_leave.astype(np.float64),
-        inclusive=inclusive.astype(np.float64),
-        exclusive=exclusive.astype(np.float64),
+        region=np.asarray(region_enter, dtype=np.int32),
+        t_enter=np.asarray(t_enter, dtype=np.float64),
+        t_leave=np.asarray(t_leave, dtype=np.float64),
+        inclusive=np.asarray(inclusive, dtype=np.float64),
+        exclusive=np.asarray(exclusive, dtype=np.float64),
         depth=depth,
         parent=parent,
         outermost=outermost,
-        enter_index=enter_index.astype(np.int64),
-        leave_index=leave_index.astype(np.int64),
+        enter_index=np.asarray(enter_index, dtype=np.int64),
+        leave_index=np.asarray(leave_index, dtype=np.int64),
     )
+
+
+def match_invocations(events: EventList) -> InvocationTable:
+    """Build the invocation table for one process stream.
+
+    Raises
+    ------
+    ValueError
+        If the stream's enter/leave events are unbalanced or not
+        properly nested (run :func:`repro.trace.validate_trace` for a
+        precise diagnosis).
+    """
+    is_enter = events.kind == EventKind.ENTER
+    is_leave = events.kind == EventKind.LEAVE
+    el_mask = is_enter | is_leave
+    el_idx = np.flatnonzero(el_mask)
+    if len(el_idx) == 0:
+        return InvocationTable.empty()
+
+    kind_pm = np.where(is_enter[el_idx], 1, -1).astype(np.int64)
+    enter_pos, leave_pos, depth = _pair_by_depth(kind_pm)
+    return _build_table(events, el_idx, enter_pos, leave_pos, depth)
+
+
+def table_from_pairing(
+    events: EventList,
+    el_idx: np.ndarray,
+    enter_pos: np.ndarray,
+    leave_pos: np.ndarray,
+    depth_after: np.ndarray,
+) -> InvocationTable:
+    """Build the invocation table from an existing enter/leave pairing.
+
+    The fused analysis kernel (:mod:`repro.core.fused`) validates each
+    stream through the lint engine, whose :class:`~repro.lint.engine.RankView`
+    already computed the depth-trick pairing — this entry point reuses
+    it instead of re-deriving masks and re-sorting, and is bitwise
+    identical to :func:`match_invocations` on balanced streams.
+
+    ``enter_pos``/``leave_pos`` index into ``el_idx`` in depth order (as
+    produced by the view); ``depth_after`` is the running enter/leave
+    cumsum over ``el_idx``, which at an enter position equals the
+    frame's 1-based depth.
+    """
+    if len(el_idx) == 0:
+        return InvocationTable.empty()
+    frame_order = np.argsort(enter_pos, kind="stable")
+    enter_pos = enter_pos[frame_order]
+    leave_pos = leave_pos[frame_order]
+    depth = depth_after[enter_pos].astype(np.int32)
+    return _build_table(events, el_idx, enter_pos, leave_pos, depth)
 
 
 def _resolve_workers(parallel: bool | int | None, n_ranks: int) -> int:

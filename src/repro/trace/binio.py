@@ -1,22 +1,42 @@
-"""Compact binary trace format (``.rpt``).
+"""Compact binary trace format (``.rpt``), versions 1 and 2.
 
-Layout::
+Version 1 layout::
 
     magic       b"RPTR"
-    version     u16 little-endian
+    version     u16 little-endian (= 1)
     header_len  u32 little-endian
     header      UTF-8 JSON (definitions + per-location column manifest)
     blobs       concatenated zlib-compressed column arrays
 
-The JSON header stores, for every location and column, the offset and
-compressed length of its blob plus the dtype, so columns can be read
-back with a single :func:`numpy.frombuffer` each.  Events never pass
-through Python objects on either path, keeping I/O at NumPy speed.
+Version 2 keeps the same frame but adds a per-column ``codec`` field
+(``"raw"`` or ``"zlib"``) to the manifest and aligns the payload::
+
+    magic       b"RPTR"
+    version     u16 little-endian (= 2)
+    header_len  u32 little-endian
+    header      UTF-8 JSON (adds "align": 64 and per-column "codec")
+    padding     zero bytes up to the next 64-byte file offset
+    blobs       raw blobs at 64-byte-aligned offsets; zlib blobs packed
+
+``raw`` blobs are the little-endian array bytes verbatim, so a reader
+can serve them as zero-copy :func:`numpy.frombuffer` views straight out
+of an ``mmap`` — no read, no decompress, no copy.  The 64-byte
+alignment (one cache line, and a multiple of every column itemsize)
+guarantees those views are aligned for any vectorised kernel.  The
+payload start is *not* stored: both sides derive it as
+``align64(10 + header_len)``, keeping the header free of self-sizing
+circularity.  Offsets in the manifest are relative to the payload
+start on both versions.
+
+All columns of one location stay adjacent on disk in canonical column
+order, so projecting a column subset still reads a contiguous-ish
+region and sharded readers can map one rank without touching others.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import struct
 import zlib
@@ -36,11 +56,31 @@ from .definitions import (
 from .events import EventList
 from .trace import Trace
 
-__all__ = ["write_binary", "read_binary"]
+__all__ = ["write_binary", "read_binary", "BIN_VERSION", "BIN_ALIGN", "CODECS"]
 
 MAGIC = b"RPTR"
-BIN_VERSION = 1
+#: Newest format version the writer emits (and the writer default).
+BIN_VERSION = 2
+#: Format versions the readers accept.
+SUPPORTED_VERSIONS = (1, 2)
+#: Alignment (bytes) of the payload start and of raw blobs in v2 files.
+BIN_ALIGN = 64
+#: Per-column codecs understood by the v2 reader.
+CODECS = ("raw", "zlib")
+#: ``codec="auto"`` keeps zlib only when it shrinks a column below this
+#: fraction of its raw size; otherwise the column is stored raw so
+#: readers get the zero-copy mmap path.
+_AUTO_ZLIB_RATIO = 0.75
 _COLUMNS = ("time", "kind", "ref", "partner", "size", "tag", "value")
+
+
+def _align_up(offset: int, align: int = BIN_ALIGN) -> int:
+    return (offset + align - 1) // align * align
+
+
+def mmap_disabled() -> bool:
+    """True when the ``REPRO_NO_MMAP`` environment switch is active."""
+    return os.environ.get("REPRO_NO_MMAP", "").strip() not in ("", "0")
 
 
 class BinaryFormatError(ValueError):
@@ -60,9 +100,44 @@ def parse_dtype(spec, where: str, error: type[ValueError]):
         raise error(f"{where}: invalid dtype {spec!r}: {err}") from err
 
 
-def write_binary(trace: Trace, path: str | os.PathLike, compresslevel: int = 6) -> None:
-    """Serialise ``trace`` to ``path`` in the binary ``.rpt`` format."""
+def _column_codec(col: str, codec) -> str:
+    """Resolve the requested codec policy for one column."""
+    if codec is None:
+        codec = "auto"
+    if isinstance(codec, dict):
+        codec = codec.get(col, "auto")
+    if codec not in ("auto", "raw", "zlib"):
+        raise ValueError(f"unknown codec {codec!r} for column {col!r}")
+    return codec
+
+
+def write_binary(
+    trace: Trace,
+    path: str | os.PathLike,
+    compresslevel: int = 6,
+    *,
+    version: int = BIN_VERSION,
+    codec=None,
+) -> None:
+    """Serialise ``trace`` to ``path`` in the binary ``.rpt`` format.
+
+    Parameters
+    ----------
+    version:
+        1 for the legacy all-zlib format, 2 (default) for the
+        codec-per-column, 64-byte-aligned format.
+    codec:
+        v2 only — ``"raw"``, ``"zlib"``, ``"auto"`` (the default:
+        zlib is kept only when it beats raw by a clear margin), or a
+        ``{column: codec}`` dict for per-column control.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported binary version {version}")
+    if version == 1 and codec not in (None, "zlib", "auto"):
+        raise ValueError("per-column codecs require version 2")
+
     blobs: list[bytes] = []
+    pads: list[int] = []
     offset = 0
     location_manifest = []
     for proc in trace.processes():
@@ -70,14 +145,30 @@ def write_binary(trace: Trace, path: str | os.PathLike, compresslevel: int = 6) 
         columns = {}
         for col in _COLUMNS:
             arr = getattr(ev, col)
-            blob = zlib.compress(arr.tobytes(), compresslevel)
-            columns[col] = {
-                "offset": offset,
-                "length": len(blob),
-                "dtype": arr.dtype.str,
-            }
+            raw = arr.tobytes()
+            spec = {"dtype": arr.dtype.str}
+            if version == 1:
+                blob, chosen = zlib.compress(raw, compresslevel), "zlib"
+            else:
+                want = _column_codec(col, codec)
+                if want == "raw":
+                    blob, chosen = raw, "raw"
+                else:
+                    z = zlib.compress(raw, compresslevel)
+                    if want == "zlib" or len(z) <= len(raw) * _AUTO_ZLIB_RATIO:
+                        blob, chosen = z, "zlib"
+                    else:
+                        blob, chosen = raw, "raw"
+                spec["codec"] = chosen
+            pad = 0
+            if version == 2 and chosen == "raw":
+                pad = _align_up(offset) - offset
+            spec["offset"] = offset + pad
+            spec["length"] = len(blob)
+            columns[col] = spec
+            pads.append(pad)
             blobs.append(blob)
-            offset += len(blob)
+            offset += pad + len(blob)
         location_manifest.append(
             {
                 "id": proc.location.id,
@@ -114,27 +205,105 @@ def write_binary(trace: Trace, path: str | os.PathLike, compresslevel: int = 6) 
         ],
         "locations": location_manifest,
     }
+    if version == 2:
+        header["align"] = BIN_ALIGN
     header_bytes = json.dumps(header).encode("utf-8")
 
     with open(path, "wb") as fp:
         fp.write(MAGIC)
-        fp.write(struct.pack("<HI", BIN_VERSION, len(header_bytes)))
+        fp.write(struct.pack("<HI", version, len(header_bytes)))
         fp.write(header_bytes)
-        for blob in blobs:
+        if version == 2:
+            fp.write(b"\0" * (payload_start(len(header_bytes), 2) - 10 - len(header_bytes)))
+        for pad, blob in zip(pads, blobs):
+            if pad:
+                fp.write(b"\0" * pad)
             fp.write(blob)
 
 
+def payload_start(header_len: int, version: int) -> int:
+    """Absolute file offset of the blob payload.
+
+    Derived, never stored: v1 payload begins right after the header;
+    v2 pads the 10-byte frame + header up to the next 64-byte boundary
+    so that raw-blob offsets stay aligned in absolute file terms too.
+    """
+    base = 10 + header_len
+    return base if version == 1 else _align_up(base)
+
+
+def read_frame(fp) -> tuple[int, int, dict]:
+    """Read and validate the fixed frame; return (version, header_len, header)."""
+    magic = fp.read(4)
+    if magic != MAGIC:
+        raise BinaryFormatError(f"bad magic {magic!r}; not an .rpt trace")
+    head = fp.read(6)
+    if len(head) != 6:
+        raise BinaryFormatError("truncated .rpt header")
+    version, header_len = struct.unpack("<HI", head)
+    if version not in SUPPORTED_VERSIONS:
+        raise BinaryFormatError(f"unsupported binary version {version}")
+    header_bytes = fp.read(header_len)
+    if len(header_bytes) != header_len:
+        raise BinaryFormatError("truncated .rpt header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise BinaryFormatError(f"corrupt .rpt header: {err}") from err
+    return version, header_len, header
+
+
+def decode_column(buf, base: int, spec: dict, n: int, where: str) -> np.ndarray:
+    """Materialise one column from ``buf`` (bytes or mmap).
+
+    ``raw`` columns come back as zero-copy :func:`numpy.frombuffer`
+    views into ``buf``; ``zlib`` columns are decompressed.  ``base`` is
+    the absolute payload start; offsets in ``spec`` are payload-relative.
+    """
+    codec = spec.get("codec", "zlib")
+    if codec not in CODECS:
+        raise BinaryFormatError(f"{where}: unknown codec {codec!r}")
+    dtype = parse_dtype(spec["dtype"], where, BinaryFormatError)
+    start = base + spec["offset"]
+    length = spec["length"]
+    if codec == "raw":
+        if length != n * dtype.itemsize:
+            raise BinaryFormatError(
+                f"{where}: raw blob is {length} bytes, "
+                f"expected {n * dtype.itemsize}"
+            )
+        try:
+            return np.frombuffer(buf, dtype=dtype, count=n, offset=start)
+        except ValueError as err:
+            raise BinaryFormatError(f"{where}: {err}") from err
+    raw = zlib.decompress(bytes(memoryview(buf)[start:start + length]))
+    arr = np.frombuffer(raw, dtype=dtype)
+    if len(arr) != n:
+        raise BinaryFormatError(
+            f"{where}: expected {n} entries, found {len(arr)}"
+        )
+    return arr
+
+
+def _read_buffer(fp, version: int):
+    """Whole-file buffer for column decoding: an mmap when available
+    (v2 raw columns then become zero-copy views), plain bytes otherwise
+    (``REPRO_NO_MMAP=1``, empty files, exotic filesystems)."""
+    if version == 2 and not mmap_disabled():
+        try:
+            return mmap.mmap(fp.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            pass
+    fp.seek(0)
+    return fp.read()
+
+
 def read_binary(path: str | os.PathLike) -> Trace:
-    """Read a trace from ``path`` in the binary ``.rpt`` format."""
+    """Read a trace from ``path`` in the binary ``.rpt`` format (v1 or v2)."""
     with open(path, "rb") as fp:
-        magic = fp.read(4)
-        if magic != MAGIC:
-            raise BinaryFormatError(f"bad magic {magic!r}; not an .rpt trace")
-        version, header_len = struct.unpack("<HI", fp.read(6))
-        if version != BIN_VERSION:
-            raise BinaryFormatError(f"unsupported binary version {version}")
-        header = json.loads(fp.read(header_len).decode("utf-8"))
-        payload = fp.read()
+        version, header_len, header = read_frame(fp)
+        buf = _read_buffer(fp, version)
+    base = payload_start(header_len, version)
 
     regions = RegionRegistry()
     for rec in header["regions"]:
@@ -170,24 +339,15 @@ def read_binary(path: str | os.PathLike) -> Trace:
         n = loc_rec["n"]
         arrays = []
         for col in _COLUMNS:
-            spec = loc_rec["columns"][col]
-            start = spec["offset"]
-            stop = start + spec["length"]
-            raw = zlib.decompress(payload[start:stop])
-            arr = np.frombuffer(
-                raw,
-                dtype=parse_dtype(
-                    spec["dtype"],
+            arrays.append(
+                decode_column(
+                    buf,
+                    base,
+                    loc_rec["columns"][col],
+                    n,
                     f"location {loc_rec['id']} column {col}",
-                    BinaryFormatError,
-                ),
-            )
-            if len(arr) != n:
-                raise BinaryFormatError(
-                    f"location {loc_rec['id']} column {col}: "
-                    f"expected {n} entries, found {len(arr)}"
                 )
-            arrays.append(arr)
+            )
         location = Location(
             id=loc_rec["id"], name=loc_rec["name"], group=loc_rec.get("group", "MPI")
         )

@@ -39,6 +39,7 @@ __all__ = [
     "Event",
     "EventList",
     "EventListBuilder",
+    "ColumnNotLoadedError",
     "NO_REF",
     "NO_PARTNER",
 ]
@@ -79,6 +80,77 @@ class Event:
 
     def is_leave(self) -> bool:
         return self.kind == EventKind.LEAVE
+
+
+class ColumnNotLoadedError(RuntimeError):
+    """A pass touched an event column excluded from its projection.
+
+    Raised by the placeholder objects that :meth:`EventList.projected`
+    installs for columns the caller chose not to materialise.  Any
+    meaningful use of the column (indexing, iteration, ufuncs, array
+    conversion) fails loudly instead of silently computing on garbage,
+    which is what lets the projection tests prove that each analysis
+    pass really only reads the columns it declares.
+    """
+
+
+class _MissingColumn:
+    """Placeholder stored in an :class:`EventList` slot for a column
+    that was not loaded.  Every access path a NumPy consumer can take
+    funnels into :meth:`_fail`."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def _fail(self):
+        raise ColumnNotLoadedError(
+            f"column {self._name!r} was not loaded by this projection; "
+            f"add it to the columns= argument of TraceIndex.load()"
+        )
+
+    def __getattr__(self, attr):
+        self._fail()
+
+    def __len__(self):
+        self._fail()
+
+    def __getitem__(self, index):
+        self._fail()
+
+    def __iter__(self):
+        self._fail()
+
+    def __bool__(self):
+        self._fail()
+
+    def __array__(self, dtype=None, copy=None):
+        self._fail()
+
+    def __array_ufunc__(self, *args, **kwargs):
+        self._fail()
+
+    def __eq__(self, other):
+        self._fail()
+
+    def __ne__(self, other):
+        self._fail()
+
+    def __lt__(self, other):
+        self._fail()
+
+    def __le__(self, other):
+        self._fail()
+
+    def __gt__(self, other):
+        self._fail()
+
+    def __ge__(self, other):
+        self._fail()
+
+    def __repr__(self) -> str:
+        return f"<column {self._name!r} not loaded>"
 
 
 _FIELDS = ("time", "kind", "ref", "partner", "size", "tag", "value")
@@ -149,6 +221,48 @@ class EventList:
             )
         return builder.freeze()
 
+    @classmethod
+    def projected(cls, columns: dict[str, np.ndarray]) -> "EventList":
+        """Build a partially-loaded event list.
+
+        ``columns`` maps field names to arrays; ``time`` is mandatory
+        (it defines the stream length and carries the ordering
+        guarantee).  Supplied columns get the same validation,
+        canonicalisation and read-only freeze as ``__init__``; missing
+        columns are replaced by placeholders that raise
+        :class:`ColumnNotLoadedError` on any use.
+        """
+        unknown = sorted(set(columns) - set(_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown event columns: {', '.join(unknown)}")
+        if "time" not in columns:
+            raise ValueError("projected event lists always require 'time'")
+        self = object.__new__(cls)
+        time = np.ascontiguousarray(columns["time"], dtype=np.float64)
+        n = len(time)
+        if n > 1 and np.any(np.diff(time) < 0):
+            raise ValueError("event timestamps must be non-decreasing")
+        for name in _FIELDS:
+            if name in columns:
+                arr = np.ascontiguousarray(columns[name], dtype=_DTYPES[name])
+                if len(arr) != n:
+                    raise ValueError(
+                        f"column {name!r} has length {len(arr)}, expected {n}"
+                    )
+                arr.setflags(write=False)
+                object.__setattr__(self, name, arr)
+            else:
+                object.__setattr__(self, name, _MissingColumn(name))
+        return self
+
+    @property
+    def loaded_columns(self) -> tuple[str, ...]:
+        """Names of the columns that are actually materialised."""
+        return tuple(
+            f for f in _FIELDS
+            if not isinstance(getattr(self, f), _MissingColumn)
+        )
+
     # -- container protocol -------------------------------------------
 
     def __len__(self) -> int:
@@ -160,6 +274,11 @@ class EventList:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
+            loaded = self.loaded_columns
+            if len(loaded) != len(_FIELDS):
+                return EventList.projected(
+                    {f: getattr(self, f)[index] for f in loaded}
+                )
             return EventList(
                 *(getattr(self, f)[index] for f in _FIELDS)
             )

@@ -20,16 +20,23 @@ match the eager pipeline exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import mmap
 import os
 import re
-import struct
 import zlib
 from typing import IO, Iterable, Sequence
 
 import numpy as np
 
-from .binio import parse_dtype
+from .binio import (
+    CODECS,
+    mmap_disabled,
+    parse_dtype,
+    payload_start,
+    read_frame,
+)
 from .definitions import (
     Location,
     Metric,
@@ -40,7 +47,9 @@ from .definitions import (
     RegionRegistry,
     RegionRole,
 )
+from .events import _DTYPES as _CANONICAL_DTYPES
 from .events import EventList
+from .fingerprint import _DIGEST_SIZE, fingerprint_events
 from .trace import Trace
 from .writer import FORMAT_VERSION
 
@@ -239,6 +248,8 @@ class TraceIndex:
         self.name = "trace"
         self.attributes: dict[str, str] = {}
         self._chunks: dict[int, _RankChunk] = {}
+        self.version: int | None = None
+        self._buf: "mmap.mmap | None | bool" = None
         if self.path.endswith(".rpt"):
             self.format = "rpt"
             self._index_binary()
@@ -253,32 +264,17 @@ class TraceIndex:
     # -- indexing ------------------------------------------------------
 
     def _index_binary(self) -> None:
-        from .binio import BIN_VERSION, MAGIC
+        from .binio import BinaryFormatError
 
         file_size = os.path.getsize(self.path)
         with open(self.path, "rb") as fp:
-            magic = fp.read(4)
-            if magic != MAGIC:
-                raise TraceFormatError(
-                    f"bad magic {magic!r}; not an .rpt trace"
-                )
-            head = fp.read(6)
-            if len(head) != 6:
-                raise TraceFormatError("truncated .rpt header")
-            version, header_len = struct.unpack("<HI", head)
-            if version != BIN_VERSION:
-                raise TraceFormatError(
-                    f"unsupported binary version {version}"
-                )
-            header_bytes = fp.read(header_len)
-            if len(header_bytes) != header_len:
-                raise TraceFormatError("truncated .rpt header")
             try:
-                header = json.loads(header_bytes.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as err:
-                raise TraceFormatError(f"corrupt .rpt header: {err}") from err
-            payload_start = fp.tell()
-        payload_size = file_size - payload_start
+                version, header_len, header = read_frame(fp)
+            except BinaryFormatError as err:
+                raise TraceFormatError(str(err)) from err
+        self.version = version
+        base = payload_start(header_len, version)
+        payload_size = max(0, file_size - base)
 
         self.name = header.get("name", "trace")
         self.attributes = header.get("attributes", {})
@@ -309,11 +305,17 @@ class TraceIndex:
                     raise TraceFormatError(
                         f"location {loc.id}: missing column {col!r}"
                     )
-                parse_dtype(
+                dtype = parse_dtype(
                     spec.get("dtype"),
                     f"location {loc.id} column {col}",
                     TraceFormatError,
                 )
+                codec = spec.get("codec", "zlib")
+                if codec not in CODECS:
+                    raise TraceFormatError(
+                        f"location {loc.id} column {col}: "
+                        f"unknown codec {codec!r}"
+                    )
                 off, length = spec["offset"], spec["length"]
                 if (
                     not isinstance(off, int)
@@ -331,6 +333,13 @@ class TraceIndex:
                         f"[{off}, {off + length}) runs past the end of the "
                         f"payload ({payload_size} bytes); file is truncated"
                     )
+                if codec == "raw":
+                    n = loc_rec["n"]
+                    if not isinstance(n, int) or length != n * dtype.itemsize:
+                        raise TraceFormatError(
+                            f"location {loc.id} column {col}: raw blob is "
+                            f"{length} bytes, inconsistent with n={n!r}"
+                        )
                 if length:
                     intervals.append((off, off + length, loc.id, col))
                 lo = off if lo is None else min(lo, off)
@@ -338,13 +347,14 @@ class TraceIndex:
             self._chunks[loc.id] = _RankChunk(
                 rank=loc.id,
                 n_events=loc_rec["n"],
-                offset=payload_start + (lo or 0),
+                offset=base + (lo or 0),
                 length=(hi or 0) - (lo or 0),
                 columns={
                     col: (
-                        payload_start + columns[col]["offset"],
+                        base + columns[col]["offset"],
                         columns[col]["length"],
                         columns[col]["dtype"],
+                        columns[col].get("codec", "zlib"),
                     )
                     for col in _BIN_COLUMNS
                 },
@@ -457,39 +467,84 @@ class TraceIndex:
 
     # -- loading -------------------------------------------------------
 
-    def _load_events_binary(self, fp, chunk: _RankChunk) -> EventList:
-        arrays = []
-        for col in _BIN_COLUMNS:
-            offset, length, dtype = chunk.columns[col]
+    def _buffer(self) -> "mmap.mmap | None":
+        """Shared read-only mmap of the file (binary format only).
+
+        Created lazily on the first load; ``None`` when mmap is
+        unavailable or disabled via ``REPRO_NO_MMAP=1``.  The map is
+        never explicitly closed — zero-copy column views keep it alive
+        through their ``.base`` reference, and the OS reclaims it when
+        the last view is garbage-collected.
+        """
+        if self._buf is None:
+            self._buf = False
+            if self.format == "rpt" and not mmap_disabled():
+                try:
+                    with open(self.path, "rb") as fp:
+                        self._buf = mmap.mmap(
+                            fp.fileno(), 0, access=mmap.ACCESS_READ
+                        )
+                except (ValueError, OSError):
+                    self._buf = False
+        return self._buf or None
+
+    def _read_column_blob(self, fp, offset: int, length: int, where: str):
+        """Raw on-disk bytes of one column blob (mmap view or read)."""
+        buf = self._buffer()
+        if buf is not None:
+            blob = memoryview(buf)[offset:offset + length]
+        else:
             fp.seek(offset)
-            raw = fp.read(length)
-            if len(raw) != length:
-                raise TraceFormatError(
-                    f"location {chunk.rank} column {col}: chunk is truncated"
-                )
-            try:
-                data = zlib.decompress(raw)
-            except zlib.error as err:
-                raise TraceFormatError(
-                    f"location {chunk.rank} column {col}: {err}"
-                ) from err
-            arr = np.frombuffer(
-                data,
-                dtype=parse_dtype(
-                    dtype,
-                    f"location {chunk.rank} column {col}",
-                    TraceFormatError,
-                ),
-            )
+            blob = fp.read(length)
+        if len(blob) != length:
+            raise TraceFormatError(f"{where}: chunk is truncated")
+        return blob
+
+    def _load_events_binary(
+        self, fp, chunk: _RankChunk, columns: Sequence[str] | None = None
+    ) -> EventList:
+        buf = self._buffer()
+        arrays: dict[str, np.ndarray] = {}
+        for col in (_BIN_COLUMNS if columns is None else columns):
+            offset, length, dtype_str, codec = chunk.columns[col]
+            where = f"location {chunk.rank} column {col}"
+            dtype = parse_dtype(dtype_str, where, TraceFormatError)
+            if codec == "raw":
+                # Blob length == n * itemsize was validated at index
+                # time, so a view over the mmap is safe and zero-copy.
+                if buf is not None:
+                    try:
+                        arr = np.frombuffer(
+                            buf, dtype=dtype, count=chunk.n_events,
+                            offset=offset,
+                        )
+                    except ValueError as err:
+                        raise TraceFormatError(f"{where}: {err}") from err
+                else:
+                    arr = np.frombuffer(
+                        self._read_column_blob(fp, offset, length, where),
+                        dtype=dtype,
+                    )
+            else:
+                blob = self._read_column_blob(fp, offset, length, where)
+                try:
+                    data = zlib.decompress(blob)
+                except zlib.error as err:
+                    raise TraceFormatError(f"{where}: {err}") from err
+                arr = np.frombuffer(data, dtype=dtype)
             if len(arr) != chunk.n_events:
                 raise TraceFormatError(
-                    f"location {chunk.rank} column {col}: expected "
+                    f"{where}: expected "
                     f"{chunk.n_events} entries, found {len(arr)}"
                 )
-            arrays.append(arr)
-        return EventList(*arrays)
+            arrays[col] = arr
+        if columns is None:
+            return EventList(*(arrays[col] for col in _BIN_COLUMNS))
+        return EventList.projected(arrays)
 
-    def _load_events_jsonl(self, fp, chunk: _RankChunk) -> EventList:
+    def _load_events_jsonl(
+        self, fp, chunk: _RankChunk, columns: Sequence[str] | None = None
+    ) -> EventList:
         fp.seek(chunk.offset)
         raw = fp.read(chunk.length)
         try:
@@ -502,15 +557,54 @@ class TraceIndex:
             raise TraceFormatError(
                 f"location {chunk.rank}: chunk table out of sync"
             )
-        return _events_from_record(record)
+        if columns is None:
+            return _events_from_record(record)
+        try:
+            arrays = {
+                col: np.asarray(record[col], dtype=_CANONICAL_DTYPES[col])
+                for col in columns
+            }
+        except KeyError as err:
+            raise TraceFormatError(
+                f"location {chunk.rank}: events record is missing "
+                f"column {err.args[0]!r}"
+            ) from err
+        events = EventList.projected(arrays)
+        if len(events) != record.get("n", len(events)):
+            raise TraceFormatError(
+                f"location {chunk.rank}: event count mismatch"
+            )
+        return events
 
-    def load(self, ranks: Sequence[int] | None = None) -> Trace:
+    def load(
+        self,
+        ranks: Sequence[int] | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> Trace:
         """Materialise a trace containing only ``ranks``.
 
         ``None`` loads every rank (equivalent to the eager readers, and
         bit-identical to them).  Requested ranks must be defined in the
         file; locations without an events record yield empty streams.
+
+        ``columns`` projects the load onto a subset of event columns
+        (``time`` is always included).  Unprojected columns become
+        placeholders that raise
+        :class:`~repro.trace.events.ColumnNotLoadedError` on use, so a
+        pass that touches an undeclared column fails loudly.  For
+        zlib-coded columns the projection skips their decompression
+        entirely; for v2 raw columns the full load is already a
+        zero-copy view, but projecting still skips validation work.
         """
+        project: tuple[str, ...] | None = None
+        if columns is not None:
+            unknown = sorted(set(columns) - set(_BIN_COLUMNS))
+            if unknown:
+                raise ValueError(
+                    f"unknown event columns: {', '.join(unknown)}"
+                )
+            keep = set(columns) | {"time"}
+            project = tuple(col for col in _BIN_COLUMNS if col in keep)
         wanted: Iterable[int] = self.ranks if ranks is None else ranks
         wanted = list(wanted)
         for rank in wanted:
@@ -527,11 +621,48 @@ class TraceIndex:
                 if chunk is None:
                     events = EventList.empty()
                 elif self.format == "rpt":
-                    events = self._load_events_binary(fp, chunk)
+                    events = self._load_events_binary(fp, chunk, project)
                 else:
-                    events = self._load_events_jsonl(fp, chunk)
+                    events = self._load_events_jsonl(fp, chunk, project)
                 trace.add_process(self.locations[rank], events)
         return trace
+
+    # -- content digests ----------------------------------------------
+
+    def rank_digest(self, rank: int) -> str:
+        """Per-rank event digest, equal to
+        :func:`~repro.trace.fingerprint.fingerprint_events` over the
+        rank's loaded :class:`EventList`.
+
+        For binary files whose manifest dtypes are canonical (always
+        true for files we write), the digest is computed straight from
+        the column bytes — for v2 raw columns that means hashing mmap
+        slices with no array materialisation at all.  Anything else
+        falls back to loading the rank.
+        """
+        chunk = self._chunks.get(rank)
+        if chunk is None:
+            return fingerprint_events(EventList.empty())
+        if self.format != "rpt" or any(
+            chunk.columns[col][2] != np.dtype(_CANONICAL_DTYPES[col]).str
+            for col in _BIN_COLUMNS
+        ):
+            return fingerprint_events(self.load([rank]).events_of(rank))
+        h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        with open(self.path, "rb") as fp:
+            for col in _BIN_COLUMNS:
+                offset, length, _dtype_str, codec = chunk.columns[col]
+                where = f"location {chunk.rank} column {col}"
+                blob = self._read_column_blob(fp, offset, length, where)
+                h.update(col.encode("ascii"))
+                if codec == "raw":
+                    h.update(blob)
+                else:
+                    try:
+                        h.update(zlib.decompress(blob))
+                    except zlib.error as err:
+                        raise TraceFormatError(f"{where}: {err}") from err
+        return h.hexdigest()
 
 
 def read_trace_ranks(

@@ -236,6 +236,111 @@ class TestHypothesisTraces:
         assert_identical_analysis(reference, candidate)
 
 
+class TestFusedEqualsLegacy:
+    """The fused kernel's products equal the staged pipeline's, bitwise.
+
+    ``fused_bootstrap`` replaces three separate passes (validate,
+    match_invocations, per-rank statistics) with one; this class pins
+    the identity the rest of the suite assumes.
+    """
+
+    def test_tables_partials_report(self, scenario):
+        from repro.core.fused import fused_bootstrap
+        from repro.profiles.stats import rank_statistics_arrays
+        from repro.trace.validate import validate_trace
+
+        name, trace, reference = scenario
+        boot = fused_bootstrap(trace)
+
+        legacy_report = validate_trace(trace)
+        key = lambda i: (i.rank, i.code, i.message, i.position, i.time)
+        assert [key(i) for i in boot.report.issues] == [
+            key(i) for i in legacy_report.issues
+        ]
+
+        legacy_tables = replay_trace(trace)
+        n_regions = len(trace.regions)
+        assert sorted(boot.tables) == sorted(legacy_tables)
+        for rank in trace.ranks:
+            for col in ("region", "t_enter", "t_leave", "depth", "parent"):
+                assert np.array_equal(
+                    getattr(boot.tables[rank], col),
+                    getattr(legacy_tables[rank], col),
+                ), f"rank {rank} table column {col} differs"
+            legacy_partial = rank_statistics_arrays(
+                legacy_tables[rank], n_regions
+            )
+            assert sorted(boot.partials[rank]) == sorted(legacy_partial)
+            for stat, want in legacy_partial.items():
+                assert np.array_equal(boot.partials[rank][stat], want), (
+                    f"rank {rank} partial {stat} differs"
+                )
+
+    def test_validate_false_matches_plain_replay(self, scenario):
+        from repro.core.fused import fused_bootstrap
+
+        name, trace, reference = scenario
+        boot = fused_bootstrap(trace, validate=False)
+        assert not boot.report.issues
+        legacy_tables = replay_trace(trace)
+        for rank in trace.ranks:
+            for col in ("region", "t_enter", "t_leave", "depth", "parent"):
+                assert np.array_equal(
+                    getattr(boot.tables[rank], col),
+                    getattr(legacy_tables[rank], col),
+                )
+
+
+class TestFormatPathParity:
+    """v1-zlib and v2-mmap files yield identical analysis artifacts.
+
+    The acceptance contract for the ``.rpt`` v2 fast path: the
+    zero-copy mmap read path must be an implementation detail, never a
+    semantic one — fingerprints, statistics, SOS matrices and heat
+    grids match the v1 decompress-and-copy path bitwise for every
+    shard count, with and without mmap available.
+    """
+
+    @pytest.fixture(scope="class")
+    def format_pair(self, tmp_path_factory):
+        trace = _scenario_synthetic()
+        root = tmp_path_factory.mktemp("formats")
+        v1, v2 = root / "run-v1.rpt", root / "run-v2.rpt"
+        write_binary(trace, v1, version=1)
+        write_binary(trace, v2, version=2, codec="raw")
+        return analyze_trace(trace), v1, v2
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_bitwise_identical_across_formats(
+        self, format_pair, fmt, shards, monkeypatch
+    ):
+        reference, v1, v2 = format_pair
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        path = v1 if fmt == "v1" else v2
+        session = AnalysisSession(None, source_path=path, shards=shards)
+        assert_identical_analysis(reference, session.analysis())
+
+    def test_fingerprints_match_across_formats(self, format_pair):
+        from repro.trace.fingerprint import fingerprint_trace
+        from repro.trace.reader import TraceIndex
+
+        reference, v1, v2 = format_pair
+        a = fingerprint_trace(TraceIndex(v1).load())
+        b = fingerprint_trace(TraceIndex(v2).load())
+        assert a.hexdigest == b.hexdigest
+        index = TraceIndex(v2)
+        for rank in index.ranks:
+            assert index.rank_digest(rank) == TraceIndex(v1).rank_digest(rank)
+
+    def test_no_mmap_fallback_identical(self, format_pair, monkeypatch):
+        reference, v1, v2 = format_pair
+        monkeypatch.setenv("REPRO_NO_MMAP", "1")
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        session = AnalysisSession(None, source_path=v2, shards=2)
+        assert_identical_analysis(reference, session.analysis())
+
+
 class TestStreamingBatchEquivalence:
     """Chunk boundaries that split an invocation must not matter."""
 

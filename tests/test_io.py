@@ -133,3 +133,70 @@ class TestReadTraceDispatch:
     def test_unknown_extension(self, tmp_path):
         with pytest.raises(TraceFormatError, match="extension"):
             read_trace(tmp_path / "t.xyz")
+
+
+class TestWritabilityPolicy:
+    """Every load path returns frozen column arrays.
+
+    The v2 mmap fast path serves ``np.frombuffer`` views of the file
+    mapping, which are inherently read-only; rather than letting
+    mutability depend on which reader happened to produce the arrays,
+    ``EventList`` freezes every column on construction.  In-place
+    mutation must raise the same ``ValueError`` on all paths, and an
+    explicit ``np.array(col)`` copy must stay writable.
+    """
+
+    def _write_all(self, trace, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        v1 = tmp_path / "v1.rpt"
+        v2 = tmp_path / "v2.rpt"
+        write_jsonl(trace, jsonl)
+        write_binary(trace, v1, version=1)
+        write_binary(trace, v2, version=2, codec="raw")
+        return [jsonl, v1, v2]
+
+    def _loads(self, path):
+        from repro.trace.reader import TraceIndex
+
+        yield read_trace(path)
+        yield TraceIndex(path).load()
+
+    def test_all_paths_read_only(self, fig1, tmp_path):
+        import numpy as np
+
+        for path in self._write_all(fig1, tmp_path):
+            for trace in self._loads(path):
+                for rank in trace.ranks:
+                    events = trace.events_of(rank)
+                    for name in events.loaded_columns:
+                        col = getattr(events, name)
+                        assert not col.flags.writeable, (path.name, name)
+                        with pytest.raises(
+                            ValueError, match="read-only"
+                        ):
+                            col[...] = col
+                        copy = np.array(col)
+                        assert copy.flags.writeable
+
+    def test_mmap_disabled_path_read_only(self, fig1, tmp_path, monkeypatch):
+        from repro.trace.reader import TraceIndex
+
+        monkeypatch.setenv("REPRO_NO_MMAP", "1")
+        path = tmp_path / "v2.rpt"
+        write_binary(fig1, path, version=2, codec="raw")
+        trace = TraceIndex(path).load()
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            for name in events.loaded_columns:
+                assert not getattr(events, name).flags.writeable
+
+    def test_projected_load_read_only(self, fig1, tmp_path):
+        from repro.trace.reader import TraceIndex
+
+        path = tmp_path / "v2.rpt"
+        write_binary(fig1, path, version=2)
+        trace = TraceIndex(path).load(None, columns=("time", "kind", "ref"))
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            for name in events.loaded_columns:
+                assert not getattr(events, name).flags.writeable

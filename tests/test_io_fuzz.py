@@ -127,15 +127,28 @@ class TestJsonlFuzz:
 
 
 def _rewrite_rpt_header(data: bytes, mutate) -> bytes:
-    """Decode an .rpt header JSON, apply ``mutate``, re-encode."""
+    """Decode an .rpt header JSON, apply ``mutate``, re-encode.
+
+    Re-derives the (version-dependent) payload start so the rewritten
+    header's payload-relative offsets still point at the same bytes.
+    """
     import struct
+
+    from repro.trace.binio import payload_start
 
     assert data[:4] == b"RPTR"
     version, hlen = struct.unpack_from("<HI", data, 4)
     header = json.loads(data[10 : 10 + hlen])
     mutate(header)
     hb = json.dumps(header).encode("utf-8")
-    return data[:4] + struct.pack("<HI", version, len(hb)) + hb + data[10 + hlen :]
+    pad = b"\0" * (payload_start(len(hb), version) - 10 - len(hb))
+    return (
+        data[:4]
+        + struct.pack("<HI", version, len(hb))
+        + hb
+        + pad
+        + data[payload_start(hlen, version) :]
+    )
 
 
 class TestTraceIndexStrictness:
@@ -210,8 +223,10 @@ class TestTraceIndexStrictness:
             header["locations"][0]["n"] += 1
 
         path = self._write(tmp_path, _rewrite_rpt_header(binary_bytes, mutate))
-        index = self.TraceIndex(path)  # manifest alone looks plausible
-        with pytest.raises(TraceFormatError, match="expected"):
+        # v2 raw columns are caught at index time (blob length must be
+        # n * itemsize); zlib columns only at load/decompress time.
+        with pytest.raises(TraceFormatError, match="expected|inconsistent"):
+            index = self.TraceIndex(path)
             index.load([index.ranks[0]])
 
     def test_duplicate_jsonl_events_record_rejected(self, jsonl_text, tmp_path):
