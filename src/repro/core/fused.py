@@ -113,10 +113,16 @@ def fused_bootstrap(
         rank_diags, summary = scan_view(view)
         diags.extend(rank_diags)
         summaries[rank] = summary
-        if rank_diags or not view.balanced or rank not in wanted:
+        if rank_diags or (len(view.el_idx) and not view.balanced) or rank not in wanted:
             # Broken stream: the report below makes the caller raise,
             # so there is no table to build (and building one could
             # legitimately fail on the very defect just diagnosed).
+            # A stream with no ENTER/LEAVE events at all (p2p/metric
+            # only, or empty under allow_empty_streams) is *not*
+            # broken — the view leaves ``balanced`` False because
+            # there is nothing to pair, but replay is well-defined
+            # and yields an empty table, exactly as
+            # ``match_invocations`` does on the legacy path.
             continue
         table = table_from_pairing(
             events, view.el_idx, view.enter_pos, view.leave_pos, view.depth_after

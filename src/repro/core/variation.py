@@ -146,6 +146,12 @@ def _kendall_s(v: np.ndarray) -> int:
     matrix.
     """
     n = len(v)
+    if not np.all(np.isfinite(v)):
+        # The merge-count/np.unique machinery below would turn NaNs
+        # into an arbitrary finite S where the legacy sign-matrix sum
+        # propagated NaN; refuse rather than fabricate a trend.
+        # (mann_kendall filters to finite values before calling us.)
+        raise ValueError("_kendall_s requires finite values")
     inv, _ = _inversions(v)
     _, counts = np.unique(v, return_counts=True)
     ties = int(np.sum(counts * (counts - 1) // 2, dtype=np.int64))

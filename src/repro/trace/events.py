@@ -111,6 +111,12 @@ class _MissingColumn:
         )
 
     def __getattr__(self, attr):
+        if attr.startswith("__") and attr.endswith("__"):
+            # Generic protocols (copy.deepcopy, pickle, hasattr probes)
+            # look up optional dunders; answering those with
+            # ColumnNotLoadedError breaks them with a misleading
+            # message.  Only data access on the column should fail.
+            raise AttributeError(attr)
         self._fail()
 
     def __len__(self):
@@ -136,6 +142,10 @@ class _MissingColumn:
 
     def __ne__(self, other):
         self._fail()
+
+    # Defining __eq__ would otherwise implicitly set __hash__ = None,
+    # making placeholders unhashable (identity hashing is fine here).
+    __hash__ = object.__hash__
 
     def __lt__(self, other):
         self._fail()

@@ -465,16 +465,43 @@ class TraceIndex:
             trace.add_process(self.locations[rank], EventList.empty())
         return trace
 
+    # -- lifetime ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shared mmap backing zero-copy column views.
+
+        The map normally lives until the last view into it is
+        garbage-collected, which on Windows locks the trace file
+        against deletion or in-place replacement for the whole time.
+        ``close()`` drops the map eagerly; it raises :class:`BufferError`
+        if zero-copy views served by :meth:`load` are still alive (the
+        index itself stays usable — a later load simply re-maps).
+        """
+        buf, self._buf = self._buf, None
+        if buf:
+            try:
+                buf.close()
+            except BufferError:
+                self._buf = buf
+                raise
+
+    def __enter__(self) -> "TraceIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- loading -------------------------------------------------------
 
     def _buffer(self) -> "mmap.mmap | None":
         """Shared read-only mmap of the file (binary format only).
 
         Created lazily on the first load; ``None`` when mmap is
-        unavailable or disabled via ``REPRO_NO_MMAP=1``.  The map is
-        never explicitly closed — zero-copy column views keep it alive
-        through their ``.base`` reference, and the OS reclaims it when
-        the last view is garbage-collected.
+        unavailable or disabled via ``REPRO_NO_MMAP=1``.  Zero-copy
+        column views keep the map alive through their ``.base``
+        reference; use :meth:`close` (or the context-manager form) to
+        drop it eagerly once no views are outstanding, otherwise the
+        OS reclaims it when the last view is garbage-collected.
         """
         if self._buf is None:
             self._buf = False

@@ -290,6 +290,67 @@ class TestFusedEqualsLegacy:
                     getattr(legacy_tables[rank], col),
                 )
 
+    @staticmethod
+    def _trace_with_p2p_only_rank():
+        """Rank 0 replays normally; rank 1 holds only SEND/RECV/METRIC
+        events — valid per the lint rules, but with nothing to pair."""
+        from repro.trace import Location, Trace
+        from repro.trace.events import EventKind, EventListBuilder
+
+        trace = Trace(name="p2p-only-rank")
+        trace.regions.register("step")
+        trace.metrics.register("flops")
+        b0 = EventListBuilder()
+        for i in range(10):
+            b0.append(float(i), EventKind.ENTER, ref=0)
+            b0.send(i + 0.4, partner=1, size=8, tag=i)
+            b0.append(i + 0.9, EventKind.LEAVE, ref=0)
+        trace.add_process(Location(0, "P0"), b0.freeze())
+        b1 = EventListBuilder()
+        for i in range(10):
+            b1.recv(i + 0.5, partner=0, size=8, tag=i)
+            b1.metric(i + 0.6, metric=0, value=float(i))
+        trace.add_process(Location(1, "P1"), b1.freeze())
+        return trace
+
+    def test_rank_without_enter_leave_events(self):
+        """A clean rank with zero ENTER/LEAVE events replays to an
+        empty table, as on the legacy path (regression: fused_bootstrap
+        treated it as unbalanced and skipped it without diagnostics, so
+        AnalysisSession and the shard workers KeyError'd on a trace the
+        staged pipeline analyzed fine)."""
+        from repro.core.fused import fused_bootstrap
+
+        trace = self._trace_with_p2p_only_rank()
+        boot = fused_bootstrap(trace)
+        assert boot.report.ok
+        legacy_tables = replay_trace(trace)
+        assert sorted(boot.tables) == sorted(legacy_tables) == [0, 1]
+        assert len(boot.tables[1].region) == 0
+        assert len(legacy_tables[1].region) == 0
+
+        reference = analyze_trace(trace)
+        assert_identical_analysis(reference, AnalysisSession(trace).analysis())
+        for shards in SHARD_COUNTS:
+            assert_identical_analysis(
+                reference, AnalysisSession(trace, shards=shards).analysis()
+            )
+
+    def test_empty_stream_allowed_yields_empty_table(self):
+        """With allow_empty_streams=True a genuinely empty stream gets
+        an empty table/partial rather than being silently dropped."""
+        from repro.core.fused import fused_bootstrap
+        from repro.trace import Location
+        from repro.trace.events import EventList
+
+        trace = self._trace_with_p2p_only_rank()
+        trace.add_process(Location(2, "P2"), EventList.empty())
+        boot = fused_bootstrap(trace, allow_empty_streams=True)
+        assert boot.report.ok
+        assert sorted(boot.tables) == [0, 1, 2]
+        assert len(boot.tables[2].region) == 0
+        assert sorted(boot.partials) == [0, 1, 2]
+
 
 class TestFormatPathParity:
     """v1-zlib and v2-mmap files yield identical analysis artifacts.

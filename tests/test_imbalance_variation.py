@@ -174,6 +174,22 @@ class TestMannKendall:
         assert -1.0 <= tau <= 1.0
         assert 0.0 <= p <= 1.0
 
+    def test_nan_values_filtered(self):
+        clean = mann_kendall(np.arange(20.0))
+        with_nan = mann_kendall(
+            np.concatenate([np.arange(20.0), [np.nan, np.inf]])
+        )
+        assert with_nan == clean
+
+    def test_exact_s_refuses_non_finite(self):
+        # The merge-count path would turn a NaN into an arbitrary
+        # finite S where the legacy sign-matrix sum propagated NaN.
+        from repro.core.variation import _kendall_s
+
+        with pytest.raises(ValueError, match="finite"):
+            _kendall_s(np.asarray([1.0, np.nan, 2.0]))
+        assert _kendall_s(np.asarray([1.0, 3.0, 2.0])) == 1
+
 
 class TestDetectTrend:
     def test_increasing_trend(self):

@@ -200,3 +200,59 @@ class TestWritabilityPolicy:
             events = trace.events_of(rank)
             for name in events.loaded_columns:
                 assert not getattr(events, name).flags.writeable
+
+
+class TestIndexLifetime:
+    """TraceIndex.close() releases the shared mmap deterministically.
+
+    The map otherwise lives until the last zero-copy view dies, which
+    on Windows locks the trace file against deletion/replacement; the
+    explicit close (and context-manager form) gives tools that rewrite
+    traces in place a way out. Closing under outstanding views must
+    fail loudly, not invalidate them.
+    """
+
+    def _v2_raw(self, trace, tmp_path):
+        path = tmp_path / "v2.rpt"
+        write_binary(trace, path, version=2, codec="raw")
+        return path
+
+    def test_close_without_views(self, fig1, tmp_path):
+        from repro.trace.reader import TraceIndex
+
+        index = TraceIndex(self._v2_raw(fig1, tmp_path))
+        index.close()  # no map created yet: no-op
+        loaded = index.load()
+        del loaded
+        index.close()
+        # the index stays usable: the next load re-maps
+        reloaded = index.load()
+        assert traces_equal(reloaded, fig1)
+        del reloaded
+        index.close()
+
+    def test_close_with_outstanding_views_raises(self, fig1, tmp_path):
+        import numpy as np
+
+        from repro.trace.reader import TraceIndex
+
+        index = TraceIndex(self._v2_raw(fig1, tmp_path))
+        trace = index.load()
+        if index._buffer() is None:
+            pytest.skip("mmap unavailable on this platform")
+        with pytest.raises(BufferError):
+            index.close()
+        # the failed close must not have invalidated the views
+        times = np.concatenate([trace.events_of(r).time for r in trace.ranks])
+        assert len(times) == trace.num_events
+        del trace, times
+        index.close()
+
+    def test_context_manager(self, fig1, tmp_path):
+        from repro.trace.reader import TraceIndex
+
+        with TraceIndex(self._v2_raw(fig1, tmp_path)) as index:
+            trace = index.load()
+            n = trace.num_events
+            del trace
+        assert n == fig1.num_events

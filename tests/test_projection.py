@@ -171,3 +171,41 @@ class TestDeclaredColumnSets:
         got, want = run(proj), run(rich_trace)
         for rank in want:
             np.testing.assert_array_equal(got[rank], want[rank])
+
+
+class TestPlaceholderProtocols:
+    """Unloaded-column placeholders fail data access loudly but stay
+    out of the way of generic object protocols (regression: __getattr__
+    answered every probe with ColumnNotLoadedError and defining __eq__
+    made placeholders unhashable, breaking deepcopy/hasattr/pickling
+    with misleading errors)."""
+
+    @pytest.fixture()
+    def projected_events(self):
+        return EventList.projected({"time": np.array([0.0, 1.0])})
+
+    def test_data_access_still_fails(self, projected_events):
+        ref = projected_events.ref
+        with pytest.raises(ColumnNotLoadedError):
+            len(ref)
+        with pytest.raises(ColumnNotLoadedError):
+            ref == 3
+        with pytest.raises(ColumnNotLoadedError):
+            ref.sum()
+
+    def test_dunder_probes_raise_attribute_error(self, projected_events):
+        ref = projected_events.ref
+        assert not hasattr(ref, "__deepcopy__")
+        assert not hasattr(ref, "__array_interface__")
+        with pytest.raises(AttributeError):
+            ref.__deepcopy__
+
+    def test_deepcopy_and_hash(self, projected_events):
+        import copy
+
+        clone = copy.deepcopy(projected_events)
+        np.testing.assert_array_equal(clone.time, projected_events.time)
+        with pytest.raises(ColumnNotLoadedError):
+            len(clone.ref)
+        assert isinstance(hash(projected_events.ref), int)
+        assert {projected_events.ref: "ok"}
