@@ -84,9 +84,22 @@ def _bench_record(request):
     optional events/s and trace size from :func:`bench_meta`, plus the
     git revision — the cross-PR perf trajectory in machine form.
     """
+    import repro.obs as obs
+
+    # Record telemetry counters alongside the timings: each test runs
+    # under its own collector (unless one is already active) and its
+    # counter totals land in the JSON record.  Only flag-guarded
+    # counters fire on the hot paths, so the timed sections stay
+    # representative.
+    fresh = not obs.enabled()
+    col = obs.enable() if fresh else obs.collector()
     t0 = time.perf_counter()
-    yield
-    wall = time.perf_counter() - t0
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - t0
+        if fresh:
+            col = obs.disable()
     module = request.module.__name__.rpartition(".")[2]
     if not module.startswith("bench_"):
         return
@@ -96,6 +109,11 @@ def _bench_record(request):
         stats = getattr(request.getfixturevalue("benchmark"), "stats", None)
         if stats is not None:
             entry = {"wall_s": float(stats.stats.min), "timer": "benchmark"}
+    counters = col.counters() if col is not None else {}
+    if counters:
+        entry["counters"] = {
+            key: round(value, 9) for key, value in sorted(counters.items())
+        }
     entry.update(getattr(request.node, "_bench_meta", {}))
     events = entry.get("events")
     if events and entry["wall_s"] > 0 and "events_per_s" not in entry:

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Bound the disabled-mode cost of the repro.obs instrumentation.
+
+The observability subsystem promises near-zero cost while disabled:
+every instrumented call site performs one module-flag test and returns
+(``span()`` hands out a shared no-op singleton, ``Counter.add`` returns
+before touching any state).  This script turns that promise into a CI
+gate that is robust across machines:
+
+1. run the E15 fast-path workload (16 ranks x 1500 iterations,
+   504k events — the ``BENCH_fastpath.json`` reference analysis) with
+   telemetry *enabled* and count every journal entry and instrument
+   sample the run produces — an upper bound on the number of
+   instrumented call sites the disabled run executes;
+2. microbenchmark the disabled-mode primitives (``span()`` + no-op
+   context manager, ``Counter.add``) on this machine;
+3. assert ``entries x cost-per-call < threshold x analyze wall`` —
+   i.e. even charging *every* instrumented site at full price, the
+   disabled run cannot lose more than ``--threshold`` (default 5%)
+   against the uninstrumented PR-4 fast path.
+
+The measured disabled wall is also printed next to the recorded
+baseline from ``BENCH_fastpath.json`` for the perf trajectory; the
+hard assertion is the machine-independent bound above (CI runners and
+the bench host differ too much for an absolute wall comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+import timeit
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=None, metavar="BENCH_JSON",
+        help="BENCH_fastpath.json to print the recorded baseline from",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="maximum tolerated disabled-mode overhead fraction "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repetitions for the analyze wall (default 3)",
+    )
+    args = parser.parse_args()
+
+    import repro.obs as obs
+    from repro.core.session import AnalysisSession
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+    from repro.trace import write_binary
+
+    trace = generate(SyntheticConfig(ranks=16, iterations=1500, seed=3))
+    with tempfile.TemporaryDirectory(prefix="repro-obs-overhead-") as tmp:
+        path = os.path.join(tmp, "e15.rpt")
+        write_binary(trace, path, version=2)
+
+        def analyze() -> None:
+            AnalysisSession(None, source_path=path).analysis()
+
+        assert not obs.enabled()
+        wall_disabled = _best_of(args.repeats, analyze)
+
+        # Count the telemetry the instrumented pipeline emits: journal
+        # entries cover every span edge and every counter/gauge sample.
+        col = obs.enable()
+        analyze()
+        col = obs.disable()
+        entries = sum(
+            len(jrn["entries"]) for _, jrn in col._all_journals()
+        )
+        wall_enabled = _best_of(1, analyze)
+
+    n_calls = 100_000
+    span_s = timeit.timeit(
+        "s = span('x')\ns.__enter__()\ns.__exit__(None, None, None)",
+        setup="from repro.obs import span",
+        number=n_calls,
+    ) / n_calls
+    counter_s = timeit.timeit(
+        "c.add(1.0)",
+        setup="from repro.obs import counter\nc = counter('x')",
+        number=n_calls,
+    ) / n_calls
+    per_call = max(span_s, counter_s)
+
+    est_overhead = entries * per_call
+    ratio = est_overhead / wall_disabled
+    print(f"analyze wall (telemetry disabled): {wall_disabled * 1e3:.2f} ms")
+    print(f"analyze wall (telemetry enabled):  {wall_enabled * 1e3:.2f} ms")
+    print(f"instrumented sites executed:       {entries}")
+    print(f"disabled span cost:                {span_s * 1e9:.1f} ns/call")
+    print(f"disabled counter cost:             {counter_s * 1e9:.1f} ns/call")
+    print(
+        f"estimated disabled-mode overhead:  {est_overhead * 1e6:.1f} us "
+        f"({100 * ratio:.3f}% of the analyze wall)"
+    )
+
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fp:
+                doc = json.load(fp)
+            base = doc["results"]["test_fused_analyze_speedup"]["wall_s"]
+            print(
+                f"recorded PR-4 baseline wall:       {base * 1e3:.2f} ms "
+                f"({args.baseline}; different host, informational)"
+            )
+        except (OSError, KeyError, ValueError) as err:
+            print(f"note: cannot read baseline {args.baseline}: {err}")
+
+    if ratio >= args.threshold:
+        print(
+            f"FAIL: estimated disabled-mode overhead {100 * ratio:.2f}% "
+            f">= {100 * args.threshold:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: disabled-mode overhead bound {100 * ratio:.3f}% "
+        f"< {100 * args.threshold:.0f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

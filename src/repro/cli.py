@@ -139,6 +139,45 @@ def _add_cache_arg(parser) -> None:
     )
 
 
+def _add_verbosity_args(parser, root: bool = False) -> None:
+    """-v/-q/--log-level, accepted before *or* after the subcommand.
+
+    The root parser owns the defaults; the per-subcommand copies use
+    ``SUPPRESS`` so they only override what the root already parsed.
+    """
+    count_default = 0 if root else argparse.SUPPRESS
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=count_default,
+        help="more logging (-v = INFO progress such as shard "
+        "heartbeats, -vv = DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=count_default,
+        help="less logging (-q = errors only, -qq = critical only)",
+    )
+    parser.add_argument(
+        "--log-level", default=None if root else argparse.SUPPRESS,
+        metavar="LEVEL",
+        help="explicit log level name (overrides -v/-q and the "
+        "REPRO_LOG_LEVEL environment variable); REPRO_LOG=json "
+        "switches the stream to JSON lines",
+    )
+
+
+def _add_obs_args(parser) -> None:
+    parser.add_argument(
+        "--self-trace", dest="self_trace", default=None, metavar="PATH",
+        help="record the analyzer's own spans and counters during this "
+        "command and write them as a trace (.rpt v2 or .jsonl) — "
+        "feed it back into `analyze`/`lint`/`stats`",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the telemetry summary table (per-phase wall time, "
+        "cache hit ratio, throughput) after the command",
+    )
+
+
 def _add_shard_args(parser) -> None:
     parser.add_argument(
         "--shards", type=int, default=None, metavar="N",
@@ -165,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {_version()}"
     )
+    _add_verbosity_args(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="generate a workload trace")
@@ -197,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "error findings abort with exit code 2")
     _add_cache_arg(ana)
     _add_shard_args(ana)
+    _add_obs_args(ana)
 
     prof = sub.add_parser("profile", help="print the flat profile")
     prof.add_argument("trace")
@@ -252,11 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rules", action="store_true",
                       help="list the registered rules and exit")
     _add_shard_args(lint)
+    _add_obs_args(lint)
 
     base = sub.add_parser("baselines", help="run the baseline analyses")
     base.add_argument("trace")
     _add_cache_arg(base)
     _add_shard_args(base)
+    _add_obs_args(base)
 
     cache = sub.add_parser("cache", help="inspect or clear an artifact cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -310,6 +353,22 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--min-relative-delta", type=float, default=0.25)
     _add_cache_arg(comp)
     _add_shard_args(comp)
+    _add_obs_args(comp)
+
+    st = sub.add_parser(
+        "stats",
+        help="summarize a trace's phases and telemetry counters",
+        description=(
+            "Print the per-phase wall-time table plus any counter/gauge "
+            "attributes of a trace.  Designed for self-traces written "
+            "with --self-trace, but works on any trace (regions are "
+            "the phases)."
+        ),
+    )
+    st.add_argument("trace")
+
+    for sp in sub.choices.values():
+        _add_verbosity_args(sp)
     return parser
 
 
@@ -724,6 +783,57 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from .obs.export import SELF_TRACE_ATTR, summarize
+
+    trace = _load_trace(args.trace)
+    if trace.attributes.get(SELF_TRACE_ATTR) != "1":
+        print(
+            f"note: {args.trace} is not a self-trace; summarizing its "
+            "regions as phases\n"
+        )
+    print(summarize(trace).format())
+    return 0
+
+
+def _configure_cli_logging(args) -> None:
+    """Route -v/-q/--log-level (or env fallbacks) through repro.obs."""
+    from . import obs
+
+    level = getattr(args, "log_level", None)
+    if level is None:
+        verbose = getattr(args, "verbose", 0)
+        quiet = getattr(args, "quiet", 0)
+        if verbose or quiet:
+            level = obs.verbosity_level(verbose, quiet)
+    try:
+        obs.configure_logging(level=level)
+    except ValueError as err:
+        raise CLIError(str(err))
+
+
+def _emit_telemetry(args, col) -> None:
+    """Handle --self-trace / --stats after the command body ran."""
+    from . import obs
+
+    path = getattr(args, "self_trace", None)
+    if path:
+        from .obs.export import write_self_trace
+
+        try:
+            trace = write_self_trace(col, path)
+        except OSError as err:
+            raise CLIError(f"cannot write self-trace {path}: {err}")
+        print(
+            f"wrote self-trace {path}: {trace.num_processes} locations, "
+            f"{trace.num_events} events",
+            file=sys.stderr,
+        )
+    if getattr(args, "stats", False):
+        print()
+        print(obs.summarize(col).format())
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -738,13 +848,29 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "explain": _cmd_explain,
     "monitor": _cmd_monitor,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        _configure_cli_logging(args)
+        col = None
+        if getattr(args, "self_trace", None) or getattr(args, "stats", False):
+            from . import obs
+
+            col = obs.enable()
+        try:
+            code = _COMMANDS[args.command](args)
+        finally:
+            if col is not None:
+                from . import obs
+
+                col = obs.disable()
+        if col is not None:
+            _emit_telemetry(args, col)
+        return code
     except CLIError as err:
         print(f"error: {err}", file=sys.stderr)
         return EXIT_BAD_INPUT

@@ -32,12 +32,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..profiles.replay import InvocationTable, match_invocations, table_from_pairing
 from ..profiles.stats import rank_statistics_arrays
 from ..trace.trace import Trace
 from ..trace.validate import ValidationIssue, ValidationReport
 
 __all__ = ["FusedBootstrap", "fused_bootstrap"]
+
+#: Events pushed through the fused per-rank pass (telemetry).
+_C_EVENTS = obs.counter("analysis.events")
 
 
 @dataclass
@@ -83,9 +87,12 @@ def fused_bootstrap(
         for rank in ranks:
             if rank not in wanted:
                 continue
-            table = match_invocations(trace.events_of(rank))
-            tables[rank] = table
-            partials[rank] = rank_statistics_arrays(table, n_regions)
+            with obs.span("fused.rank"):
+                events = trace.events_of(rank)
+                _C_EVENTS.add(len(events))
+                table = match_invocations(events)
+                tables[rank] = table
+                partials[rank] = rank_statistics_arrays(table, n_regions)
         return FusedBootstrap(tables, partials, ValidationReport())
 
     from ..lint import all_rules
@@ -108,27 +115,34 @@ def fused_bootstrap(
     diags = []
     summaries = {}
     for rank in ranks:
-        events = trace.events_of(rank)
-        view = RankView(shared, rank, events)
-        rank_diags, summary = scan_view(view)
-        diags.extend(rank_diags)
-        summaries[rank] = summary
-        if rank_diags or (len(view.el_idx) and not view.balanced) or rank not in wanted:
-            # Broken stream: the report below makes the caller raise,
-            # so there is no table to build (and building one could
-            # legitimately fail on the very defect just diagnosed).
-            # A stream with no ENTER/LEAVE events at all (p2p/metric
-            # only, or empty under allow_empty_streams) is *not*
-            # broken — the view leaves ``balanced`` False because
-            # there is nothing to pair, but replay is well-defined
-            # and yields an empty table, exactly as
-            # ``match_invocations`` does on the legacy path.
-            continue
-        table = table_from_pairing(
-            events, view.el_idx, view.enter_pos, view.leave_pos, view.depth_after
-        )
-        tables[rank] = table
-        partials[rank] = rank_statistics_arrays(table, n_regions)
+        with obs.span("fused.rank"):
+            events = trace.events_of(rank)
+            _C_EVENTS.add(len(events))
+            view = RankView(shared, rank, events)
+            rank_diags, summary = scan_view(view)
+            diags.extend(rank_diags)
+            summaries[rank] = summary
+            if (
+                rank_diags
+                or (len(view.el_idx) and not view.balanced)
+                or rank not in wanted
+            ):
+                # Broken stream: the report below makes the caller raise,
+                # so there is no table to build (and building one could
+                # legitimately fail on the very defect just diagnosed).
+                # A stream with no ENTER/LEAVE events at all (p2p/metric
+                # only, or empty under allow_empty_streams) is *not*
+                # broken — the view leaves ``balanced`` False because
+                # there is nothing to pair, but replay is well-defined
+                # and yields an empty table, exactly as
+                # ``match_invocations`` does on the legacy path.
+                continue
+            table = table_from_pairing(
+                events, view.el_idx, view.enter_pos, view.leave_pos,
+                view.depth_after
+            )
+            tables[rank] = table
+            partials[rank] = rank_statistics_arrays(table, n_regions)
 
     report = finalize_report(shared, diags, summaries, trace_name=trace.name)
     legacy_of = {r.code: r.legacy_code for r in all_rules()}

@@ -44,6 +44,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from .. import obs
 from ..profiles.profile import TraceProfile
 from ..profiles.replay import InvocationTable, match_invocations, replay_trace
 from ..profiles.stats import FunctionStatistics, compute_statistics
@@ -65,6 +66,13 @@ from .variation import TrendResult, binned_matrix, detect_trend
 __all__ = ["AnalysisSession", "ArtifactCache", "CacheInfo", "SessionStats"]
 
 _MISS = object()
+
+# Artifact-cache telemetry (module-level handles: the disabled fast
+# path is one attribute load plus one flag test per call site).
+_C_CACHE_HIT = obs.counter("cache.hit")
+_C_CACHE_MISS = obs.counter("cache.miss")
+_C_CACHE_BYTES_READ = obs.counter("cache.bytes_read")
+_C_CACHE_BYTES_WRITTEN = obs.counter("cache.bytes_written")
 
 #: InvocationTable columns in serialisation order.
 _TABLE_COLUMNS = (
@@ -213,12 +221,21 @@ class ArtifactCache:
         """Arrays stored under ``key``, or None on miss/corruption."""
         path = self._path(key)
         if not path.exists():
+            _C_CACHE_MISS.add()
             return None
         try:
             with np.load(path, allow_pickle=False) as npz:
-                return {name: npz[name] for name in npz.files}
+                arrays = {name: npz[name] for name in npz.files}
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            _C_CACHE_MISS.add()
             return None
+        _C_CACHE_HIT.add()
+        if obs.enabled():
+            try:
+                _C_CACHE_BYTES_READ.add(path.stat().st_size)
+            except OSError:  # pragma: no cover - raced unlink
+                pass
+        return arrays
 
     def store(self, key: str, arrays: dict[str, np.ndarray]) -> None:
         """Persist ``arrays`` under ``key`` (atomic overwrite)."""
@@ -227,6 +244,8 @@ class ArtifactCache:
         try:
             with open(tmp, "wb") as fp:
                 np.savez(fp, **arrays)
+            if obs.enabled():
+                _C_CACHE_BYTES_WRITTEN.add(tmp.stat().st_size)
             os.replace(tmp, path)
         finally:
             if tmp.exists():  # pragma: no cover - only on failed replace
@@ -455,7 +474,8 @@ class AnalysisSession:
         """
         if self._boot is not None:
             return self._boot
-        boot = self._shard_engine().bootstrap()
+        with obs.span("shard.bootstrap"):
+            boot = self._shard_engine().bootstrap()
         if self.config.validate and boot.issues:
             ValidationReport(
                 issues=[ValidationIssue(*i) for i in boot.issues]
@@ -507,7 +527,8 @@ class AnalysisSession:
                 self.stats._bump(self.stats.disk_hits, stage)
                 self._memo.put(memo_key, value)
                 return value
-        value = compute()
+        with obs.span(f"stage.{stage}"):
+            value = compute()
         self.stats._bump(self.stats.computed, stage)
         if disk_key is not None and self.cache is not None:
             self.cache.store(disk_key, to_arrays(value))
@@ -555,13 +576,14 @@ class AnalysisSession:
         else:
             missing = list(ranks)
         if missing:
-            if len(missing) == len(ranks):
-                computed = replay_trace(self.trace, parallel=self.parallel)
-            else:
-                computed = {
-                    rank: match_invocations(self.trace.events_of(rank))
-                    for rank in missing
-                }
+            with obs.span("session.replay"):
+                if len(missing) == len(ranks):
+                    computed = replay_trace(self.trace, parallel=self.parallel)
+                else:
+                    computed = {
+                        rank: match_invocations(self.trace.events_of(rank))
+                        for rank in missing
+                    }
             self.stats._bump(self.stats.computed, "replay", len(missing))
             for rank in missing:
                 tables[rank] = computed[rank]
@@ -827,7 +849,8 @@ class AnalysisSession:
         if not self.config.validate or self._validated:
             return
         if self.lint_config is not None:
-            self.preflight().raise_for_errors()
+            with obs.span("session.preflight"):
+                self.preflight().raise_for_errors()
             self.stats._bump(self.stats.computed, "validate")
             self._validated = True
             return
@@ -850,7 +873,8 @@ class AnalysisSession:
             self.stats._bump(self.stats.disk_hits, "validate")
             self._validated = True
             return
-        validate_trace(self.trace).raise_if_invalid()
+        with obs.span("session.validate"):
+            validate_trace(self.trace).raise_if_invalid()
         self.stats._bump(self.stats.computed, "validate")
         if self.cache is not None:
             self.cache.store(marker, {"ok": np.ones(1, dtype=np.int8)})
@@ -867,7 +891,8 @@ class AnalysisSession:
         """
         from .fused import fused_bootstrap
 
-        boot = fused_bootstrap(self.trace)
+        with obs.span("fused.bootstrap"):
+            boot = fused_bootstrap(self.trace)
         boot.report.raise_if_invalid()
         self.stats._bump(self.stats.computed, "validate")
         self._validated = True
@@ -906,11 +931,12 @@ class AnalysisSession:
         by :meth:`~repro.core.pipeline.VariationAnalysis.at_function`,
         but every product is memoized in this session.
         """
-        self._ensure_valid()
-        selection = self.selection(level=level)
-        if function is not None:
-            selection = selection.at_function(function)
-        return self.analysis_for(selection)
+        with obs.span("session.analysis"):
+            self._ensure_valid()
+            selection = self.selection(level=level)
+            if function is not None:
+                selection = selection.at_function(function)
+            return self.analysis_for(selection)
 
     def cache_info(self) -> CacheInfo | None:
         """Disk-cache summary, or None when running memory-only."""

@@ -44,11 +44,13 @@ from __future__ import annotations
 
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..profiles.replay import REPLAY_COLUMNS, InvocationTable
 from ..trace.fingerprint import fingerprint_events
 from ..trace.filters import select_ranks
@@ -66,6 +68,10 @@ __all__ = [
     "plan_shards",
     "shard_workers",
 ]
+
+_LOG = obs.get_logger("core.shard")
+#: Pending shard tasks of the in-flight pool run (telemetry only).
+_G_QUEUE = obs.gauge("shard.queue_depth")
 
 #: Estimated peak working set per event inside one worker: the seven
 #: canonical event columns (~33 B/event) plus the replayed invocation
@@ -208,6 +214,27 @@ def shard_workers(num_shards: int) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _worker_obs_setup(payload: dict) -> bool:
+    """Enable telemetry inside a worker process when the parent asks.
+
+    Returns whether this call *owns* the collector (it enabled one) —
+    in-process execution (``workers <= 1``) records straight into the
+    parent's already-active collector and owns nothing.  Forked pool
+    workers inherit the parent's enabled state and collector; the pid
+    check spots that stale copy and replaces it with a fresh worker
+    collector whose snapshot ships back with the result.
+    """
+    if not payload.get("obs"):
+        return False
+    col = obs.collector()
+    if obs.enabled() and col is not None and col.pid == os.getpid():
+        return False
+    obs.enable(
+        obs.Collector(origin=f"shard-{payload.get('shard', 0)}")
+    )
+    return True
+
+
 def _phase1_shard(payload: dict) -> dict:
     """Load, validate, replay and profile the ranks of one shard.
 
@@ -220,8 +247,24 @@ def _phase1_shard(payload: dict) -> dict:
 
     Returns per-rank event digests and statistics partials; the (much
     larger) invocation tables are spilled to the shard cache under
-    their ``inv-{digest}`` keys instead of being pickled back.
+    their ``inv-{digest}`` keys instead of being pickled back.  When
+    the payload carries ``obs``, the worker runs its own telemetry
+    collector and ships its snapshot back under the ``"obs"`` key —
+    the parent merges snapshots in shard order, exactly like the
+    statistics partials.
     """
+    owns_obs = _worker_obs_setup(payload)
+    try:
+        with obs.span("shard.phase1"):
+            res = _phase1_shard_impl(payload)
+    finally:
+        col = obs.disable() if owns_obs else None
+    if col is not None:
+        res["obs"] = col.snapshot()
+    return res
+
+
+def _phase1_shard_impl(payload: dict) -> dict:
     from ..lint.engine import lint_columns, validate_config
     from .fused import fused_bootstrap
     from .session import ArtifactCache, _table_to_arrays
@@ -297,8 +340,21 @@ def _phase2_shard(payload: dict) -> dict:
 
     Reads invocation tables back from the spill (small, rank-local
     reads) and returns only the per-segment arrays — a few KB per rank
-    even for million-event traces.
+    even for million-event traces.  Telemetry travels like phase 1:
+    worker snapshot under ``"obs"``, merged in shard order.
     """
+    owns_obs = _worker_obs_setup(payload)
+    try:
+        with obs.span("shard.phase2"):
+            res = _phase2_shard_impl(payload)
+    finally:
+        col = obs.disable() if owns_obs else None
+    if col is not None:
+        res["obs"] = col.snapshot()
+    return res
+
+
+def _phase2_shard_impl(payload: dict) -> dict:
     from .session import ArtifactCache, _table_from_arrays
 
     spill = ArtifactCache(payload["spill_dir"])
@@ -322,17 +378,73 @@ def _phase2_shard(payload: dict) -> dict:
     return out
 
 
+def _heartbeat(phase: str, payload: dict, done: int, total: int,
+               dt: float) -> None:
+    """One INFO progress line per completed rank group.
+
+    Silent at the default WARNING level; ``-v`` surfaces the shard
+    engine's progress without touching stdout.
+    """
+    ranks = payload.get("ranks", ())
+    _LOG.info(
+        "%s: shard %d/%d done (ranks %s..%s, %.3fs)",
+        phase, done, total,
+        min(ranks, default="?"), max(ranks, default="?"), dt,
+    )
+
+
 def _run_shard_tasks(fn, payloads: list[dict], workers: int) -> list:
-    """Run shard tasks, in-process when one worker suffices."""
-    if workers <= 1 or len(payloads) <= 1:
-        return [fn(p) for p in payloads]
-    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-        return list(pool.map(fn, payloads))
+    """Run shard tasks, in-process when one worker suffices.
+
+    Results keep payload order regardless of completion order, so the
+    parent-side merges stay deterministic.  Each completion emits an
+    INFO heartbeat and updates the ``shard.queue_depth`` gauge.
+    """
+    phase = getattr(fn, "__name__", "shard").strip("_")
+    total = len(payloads)
+    if workers <= 1 or total <= 1:
+        results = []
+        for i, p in enumerate(payloads):
+            t0 = time.perf_counter()
+            results.append(fn(p))
+            _heartbeat(phase, p, i + 1, total, time.perf_counter() - t0)
+        return results
+    results = [None] * total
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        t0 = time.perf_counter()
+        futures = {pool.submit(fn, p): i for i, p in enumerate(payloads)}
+        pending = len(futures)
+        _G_QUEUE.set(pending)
+        done = 0
+        for fut in as_completed(futures):
+            i = futures[fut]
+            results[i] = fut.result()
+            done += 1
+            pending -= 1
+            _G_QUEUE.set(pending)
+            _heartbeat(
+                phase, payloads[i], done, total, time.perf_counter() - t0
+            )
+    return results
 
 
 # ---------------------------------------------------------------------------
 # Parent-side merge layer
 # ---------------------------------------------------------------------------
+
+
+def _merge_worker_obs(res: dict) -> None:
+    """Fold a worker's telemetry snapshot into the active collector.
+
+    Called on results in shard order, so worker journals appear as
+    ranks in ascending shard order in the exported self-trace — the
+    same determinism rule as the statistics-partial merge.
+    """
+    snap = res.pop("obs", None)
+    if snap is not None:
+        col = obs.collector()
+        if col is not None:
+            col.merge(snap)
 
 
 def assemble_sos(
@@ -454,13 +566,15 @@ class ShardEngine:
     def _phase1_payloads(self) -> list[dict]:
         known = self.plan.ranks
         payloads = []
-        for group in self.plan.groups:
+        for shard, group in enumerate(self.plan.groups):
             payload = {
                 "ranks": tuple(group),
                 "known_ranks": known,
                 "n_regions": self.n_regions,
                 "spill_dir": self.spill_dir,
                 "validate": self.validate,
+                "shard": shard,
+                "obs": obs.enabled(),
             }
             if self.source_path is not None:
                 payload["path"] = self.source_path
@@ -477,6 +591,7 @@ class ShardEngine:
             )
             boot = ShardBootstrap({}, {}, {}, [], 0, 0)
             for res in results:
+                _merge_worker_obs(res)
                 boot.digests.update(res["digests"])
                 boot.partials.update(res["partials"])
                 boot.extents.update(res["extents"])
@@ -500,11 +615,14 @@ class ShardEngine:
                 "region": int(region),
                 "sync_regions": np.asarray(sync_regions),
                 "spill_dir": self.spill_dir,
+                "shard": shard,
+                "obs": obs.enabled(),
             }
-            for group in self.plan.groups
+            for shard, group in enumerate(self.plan.groups)
         ]
         merged: dict[int, dict[str, np.ndarray]] = {}
         for res in _run_shard_tasks(_phase2_shard, payloads, self.workers):
+            _merge_worker_obs(res)
             merged.update(res)
         return merged
 

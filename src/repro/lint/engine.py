@@ -27,11 +27,13 @@ shard count or worker scheduling.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
 
+from .. import obs
 from ..trace.definitions import MetricRegistry, RegionRegistry
 from ..trace.events import EventKind, EventList
 from ..trace.trace import Trace
@@ -330,10 +332,16 @@ def scan_view(view: RankView) -> tuple[list[Diagnostic], RankSummary]:
     """
     shared = view.shared
     diags: list[Diagnostic] = []
+    timed = obs.enabled()
     for rule in enabled_rules(shared.config, scope="rank"):
+        t0 = time.perf_counter() if timed else 0.0
         for finding in rule.check(view):
             diags.append(
                 _stamp(rule, shared.config, finding, default_rank=view.rank)
+            )
+        if timed:
+            obs.counter(f"lint.rule.{rule.code}.s").add(
+                time.perf_counter() - t0
             )
     return diags, view.summary()
 
@@ -437,8 +445,24 @@ def _lint_shard_worker(payload: dict) -> dict:
     """Scan one rank group read through the chunked reader.
 
     Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
-    pickle it by reference; returns diagnostics and summaries only.
+    pickle it by reference; returns diagnostics and summaries only —
+    plus, when the payload carries ``obs``, the worker's telemetry
+    snapshot (merged by the parent in shard order).
     """
+    from ..core.shard import _worker_obs_setup
+
+    owns_obs = _worker_obs_setup(payload)
+    try:
+        with obs.span("lint.shard"):
+            res = _lint_shard_worker_impl(payload)
+    finally:
+        col = obs.disable() if owns_obs else None
+    if col is not None:
+        res["obs"] = col.snapshot()
+    return res
+
+
+def _lint_shard_worker_impl(payload: dict) -> dict:
     from ..trace.reader import TraceIndex
 
     index = TraceIndex(payload["path"])
@@ -473,38 +497,48 @@ def lint_path(
     partitioning the analysis engine uses (:func:`repro.core.shard.plan_shards`).
     Diagnostics are byte-identical for any shard count.
     """
-    from ..core.shard import _run_shard_tasks, plan_shards, shard_workers
-
+    from ..core.shard import (
+        _merge_worker_obs,
+        _run_shard_tasks,
+        plan_shards,
+        shard_workers,
+    )
     from ..trace.reader import TraceIndex
 
     config = config if config is not None else LintConfig()
     path = os.fspath(path)
-    index = TraceIndex(path)
-    counts = index.event_counts()
-    plan = plan_shards(counts, shards=shards, max_memory_mb=max_memory_mb)
-    known = plan.ranks
-    payloads = [
-        {
-            "path": path,
-            "ranks": tuple(group),
-            "known_ranks": known,
-            "num_processes": len(counts),
-            "config": config,
-        }
-        for group in plan.groups
-    ]
-    nworkers = shard_workers(plan.num_shards) if workers is None else workers
-    diags: list[Diagnostic] = []
-    summaries: dict[int, RankSummary] = {}
-    name = ""
-    for res in _run_shard_tasks(_lint_shard_worker, payloads, nworkers):
-        diags.extend(res["diags"])
-        summaries.update(res["summaries"])
-        name = res["name"] or name
-    defs = index.definitions_trace()
-    shared = LintShared.from_definitions(
-        defs.regions, defs.metrics, len(counts), known, config
-    )
-    return finalize_report(
-        shared, diags, summaries, trace_name=defs.name, source=path
-    )
+    with obs.span("lint.path"):
+        index = TraceIndex(path)
+        counts = index.event_counts()
+        plan = plan_shards(counts, shards=shards, max_memory_mb=max_memory_mb)
+        known = plan.ranks
+        payloads = [
+            {
+                "path": path,
+                "ranks": tuple(group),
+                "known_ranks": known,
+                "num_processes": len(counts),
+                "config": config,
+                "shard": shard,
+                "obs": obs.enabled(),
+            }
+            for shard, group in enumerate(plan.groups)
+        ]
+        nworkers = (
+            shard_workers(plan.num_shards) if workers is None else workers
+        )
+        diags: list[Diagnostic] = []
+        summaries: dict[int, RankSummary] = {}
+        name = ""
+        for res in _run_shard_tasks(_lint_shard_worker, payloads, nworkers):
+            _merge_worker_obs(res)
+            diags.extend(res["diags"])
+            summaries.update(res["summaries"])
+            name = res["name"] or name
+        defs = index.definitions_trace()
+        shared = LintShared.from_definitions(
+            defs.regions, defs.metrics, len(counts), known, config
+        )
+        return finalize_report(
+            shared, diags, summaries, trace_name=defs.name, source=path
+        )

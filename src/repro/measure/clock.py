@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["Clock", "WallClock", "ManualClock"]
+__all__ = ["Clock", "WallClock", "ManualClock", "RawMonotonicClock"]
 
 
 class Clock:
@@ -32,6 +32,23 @@ class WallClock(Clock):
 
     def now(self) -> float:
         return time.perf_counter() - self._epoch
+
+
+class RawMonotonicClock(Clock):
+    """Monotonic clock *without* a per-instance epoch.
+
+    :class:`WallClock` fixes its epoch at construction, which makes
+    timestamps from two processes incomparable (each process constructs
+    its own instance).  The raw clock returns ``time.perf_counter()``
+    directly — on the platforms we run on that is ``CLOCK_MONOTONIC``,
+    which is machine-wide — so readings taken in shard worker processes
+    can be merged with the parent's on one time axis.  The
+    observability layer (:mod:`repro.obs`) normalises the common offset
+    away at export time.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
 
 
 class ManualClock(Clock):

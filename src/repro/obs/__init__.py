@@ -1,0 +1,81 @@
+"""repro.obs — self-observability for the analyzer.
+
+The paper's thesis is that bottlenecks in a parallel run are invisible
+without a trace; this package applies that thesis to the analysis
+pipeline itself.  Spans and counters instrument the hot seams
+(session stages, shard workers, the fused kernel, trace I/O, the
+artifact cache, lint rules) and export three ways:
+
+* a JSON-lines / text log stream (:func:`configure_logging`,
+  ``REPRO_LOG=json``, ``REPRO_LOG_LEVEL``);
+* a human summary table (``repro stats`` / ``--stats``);
+* a **self-trace**: a valid ``.rpt`` v2 file in which spans are
+  ENTER/LEAVE events, counters are metric events, and shard workers
+  are ranks — ``repro analyze self.rpt`` finds the analyzer's own
+  dominant phase.
+
+Everything is off by default and costs one flag test per call site
+when disabled.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Collector,
+    Counter,
+    Gauge,
+    Span,
+    SpanRecord,
+    collector,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    span,
+    traced,
+)
+from .logs import configure_logging, get_logger, verbosity_level
+
+__all__ = [
+    "Collector",
+    "Counter",
+    "Gauge",
+    "ObsSummary",
+    "Span",
+    "SpanRecord",
+    "collector",
+    "configure_logging",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_logger",
+    "self_trace",
+    "span",
+    "summarize",
+    "traced",
+    "verbosity_level",
+    "write_self_trace",
+]
+
+#: Export helpers pull in the trace layer; loaded on first use so that
+#: instrumented low-level modules (the trace reader among them) can
+#: ``import repro.obs`` without a circular import.
+_LAZY = {
+    "ObsSummary": "ObsSummary",
+    "self_trace": "self_trace",
+    "summarize": "summarize",
+    "write_self_trace": "write_self_trace",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import export
+
+        value = getattr(export, _LAZY[name])
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

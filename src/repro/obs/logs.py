@@ -1,0 +1,134 @@
+"""Logging configuration for the ``repro`` tool family.
+
+One entry point — :func:`configure_logging` — replaces per-command
+prints.  The CLI routes ``-v``/``-q``/``--log-level`` (and the
+``REPRO_LOG_LEVEL`` environment variable) through it; ``REPRO_LOG=json``
+switches the handler to structured JSON-lines output so analyzer
+telemetry can be ingested by log pipelines.
+
+Library modules obtain loggers via :func:`get_logger` (plain
+``logging.getLogger`` under a ``repro.`` prefix) and stay silent by
+default: the root ``repro`` logger sits at WARNING until configured.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO
+
+__all__ = [
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "verbosity_level",
+]
+
+#: Attributes of ``logging.LogRecord`` that are not user-supplied
+#: ``extra`` fields (used to lift extras into the JSON payload).
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+def verbosity_level(verbose: int = 0, quiet: int = 0) -> int:
+    """Map ``-v``/``-q`` counts onto a logging level.
+
+    Default WARNING; each ``-v`` steps towards DEBUG, each ``-q``
+    towards CRITICAL.  ``-v -q`` cancel out.
+    """
+    steps = {-2: logging.CRITICAL, -1: logging.ERROR, 0: logging.WARNING,
+             1: logging.INFO, 2: logging.DEBUG}
+    n = max(-2, min(2, verbose - quiet))
+    return steps[n]
+
+
+def _parse_level(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    name = level.strip().upper()
+    value = logging.getLevelName(name)
+    if not isinstance(value, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return value
+
+
+def configure_logging(
+    level: int | str | None = None,
+    fmt: str | None = None,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger hierarchy.
+
+    Parameters
+    ----------
+    level:
+        Logging level (int or name).  ``None`` falls back to
+        ``REPRO_LOG_LEVEL`` and finally WARNING.
+    fmt:
+        ``"text"`` (human one-liners) or ``"json"`` (JSON lines).
+        ``None`` falls back to ``REPRO_LOG`` and finally text.
+    stream:
+        Destination (default ``sys.stderr`` so telemetry never mixes
+        with report output on stdout).
+
+    Reconfiguration replaces the handler installed by a previous call,
+    so tests and long-lived sessions can switch formats freely.
+    """
+    if level is None:
+        env = os.environ.get("REPRO_LOG_LEVEL", "").strip()
+        level = _parse_level(env) if env else logging.WARNING
+    else:
+        level = _parse_level(level)
+    if fmt is None:
+        fmt = os.environ.get("REPRO_LOG", "text").strip().lower() or "text"
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r} (want text or json)")
+
+    logger = logging.getLogger("repro")
+    for handler in [h for h in logger.handlers
+                    if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if fmt == "json":
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -30,6 +30,7 @@ from typing import IO, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from .binio import (
     CODECS,
     mmap_disabled,
@@ -54,6 +55,12 @@ from .trace import Trace
 from .writer import FORMAT_VERSION
 
 __all__ = ["read_jsonl", "load_jsonl", "read_trace", "read_trace_ranks", "TraceIndex"]
+
+#: Telemetry: bytes served zero-copy from the mmap vs. inflated through
+#: zlib, and events materialised by the chunked loader.
+_C_MMAPPED = obs.counter("io.bytes_mmapped")
+_C_DECOMPRESSED = obs.counter("io.bytes_decompressed")
+_C_EVENTS_LOADED = obs.counter("io.events_loaded")
 
 
 class TraceFormatError(ValueError):
@@ -182,12 +189,13 @@ def read_jsonl(path: str | os.PathLike) -> Trace:
 def read_trace(path: str | os.PathLike) -> Trace:
     """Read a trace, dispatching on file extension (.jsonl or .rpt)."""
     path_str = str(path)
-    if path_str.endswith(".jsonl"):
-        return read_jsonl(path)
-    if path_str.endswith(".rpt"):
-        from .binio import read_binary
+    with obs.span("io.read"):
+        if path_str.endswith(".jsonl"):
+            return read_jsonl(path)
+        if path_str.endswith(".rpt"):
+            from .binio import read_binary
 
-        return read_binary(path)
+            return read_binary(path)
     raise TraceFormatError(
         f"cannot infer trace format from extension: {path_str!r}"
     )
@@ -547,6 +555,7 @@ class TraceIndex:
                         )
                     except ValueError as err:
                         raise TraceFormatError(f"{where}: {err}") from err
+                    _C_MMAPPED.add(length)
                 else:
                     arr = np.frombuffer(
                         self._read_column_blob(fp, offset, length, where),
@@ -559,6 +568,7 @@ class TraceIndex:
                 except zlib.error as err:
                     raise TraceFormatError(f"{where}: {err}") from err
                 arr = np.frombuffer(data, dtype=dtype)
+                _C_DECOMPRESSED.add(len(data))
             if len(arr) != chunk.n_events:
                 raise TraceFormatError(
                     f"{where}: expected "
@@ -642,7 +652,7 @@ class TraceIndex:
         if len(set(wanted)) != len(wanted):
             raise ValueError(f"duplicate ranks requested: {wanted!r}")
         trace = self._new_trace()
-        with open(self.path, "rb") as fp:
+        with obs.span("io.load"), open(self.path, "rb") as fp:
             for rank in sorted(wanted):
                 chunk = self._chunks.get(rank)
                 if chunk is None:
@@ -651,6 +661,7 @@ class TraceIndex:
                     events = self._load_events_binary(fp, chunk, project)
                 else:
                     events = self._load_events_jsonl(fp, chunk, project)
+                _C_EVENTS_LOADED.add(len(events))
                 trace.add_process(self.locations[rank], events)
         return trace
 
