@@ -93,6 +93,14 @@ def _bench_record(request):
     # representative.
     fresh = not obs.enabled()
     col = obs.enable() if fresh else obs.collector()
+    # Resolve the benchmark fixture *now* — requesting it during
+    # teardown is rejected once fixtures start finalising, but the
+    # object stays readable (its stats fill in as the test runs).
+    bench = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
     t0 = time.perf_counter()
     try:
         yield
@@ -105,10 +113,9 @@ def _bench_record(request):
         return
     name = module[len("bench_"):]
     entry: dict = {"wall_s": wall, "timer": "test"}
-    if "benchmark" in request.fixturenames:
-        stats = getattr(request.getfixturevalue("benchmark"), "stats", None)
-        if stats is not None:
-            entry = {"wall_s": float(stats.stats.min), "timer": "benchmark"}
+    stats = getattr(bench, "stats", None)
+    if stats is not None:
+        entry = {"wall_s": float(stats.stats.min), "timer": "benchmark"}
     counters = col.counters() if col is not None else {}
     if counters:
         entry["counters"] = {

@@ -341,9 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--function", default=None,
                      help="dominant function (default: warm-up selection)")
     mon.add_argument("--chunk", type=int, default=256,
-                     help="events per fed chunk")
+                     help="events per fed chunk (alias of --chunk-events)")
+    mon.add_argument("--chunk-events", type=int, default=None,
+                     help="events per fed chunk (overrides --chunk)")
     mon.add_argument("--threshold", type=float, default=4.0,
                      help="alert z-score threshold")
+    mon.add_argument("--follow", action="store_true",
+                     help="tail a growing .jsonl trace (live in-situ mode); "
+                          "stops at the end-of-trace sentinel or after "
+                          "--idle-timeout seconds without new data")
+    mon.add_argument("--idle-timeout", type=float, default=None, metavar="S",
+                     help="with --follow: give up after S idle seconds")
+    mon.add_argument("--window", type=int, default=None, metavar="N",
+                     help="retain at most N completed segments per rank "
+                          "(bounded-memory mode; alerts and running totals "
+                          "are unaffected)")
 
     comp = sub.add_parser("compare", help="compare two runs segment by segment")
     comp.add_argument("trace_a", help="reference run")
@@ -725,22 +737,63 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_monitor(args) -> int:
+    from . import obs
     from .core.streaming import STREAM_COLUMNS, StreamingAnalyzer
+    from .trace.reader import TraceFormatError
 
-    trace = _load_trace(args.trace, columns=STREAM_COLUMNS)
+    chunk_events = args.chunk_events if args.chunk_events is not None else args.chunk
+    if chunk_events < 1:
+        raise CLIError(f"--chunk-events must be >= 1, got {chunk_events}")
+    if args.window is not None and args.window < 1:
+        raise CLIError(f"--window must be >= 1, got {args.window}")
+
+    try:
+        if args.follow:
+            from .trace.cursor import TailCursor
+
+            cursor = TailCursor(
+                args.trace,
+                columns=STREAM_COLUMNS,
+                idle_timeout=args.idle_timeout,
+            )
+            definitions = cursor.wait_definitions()
+        else:
+            from .trace.reader import TraceIndex
+
+            # The index parses only the chunk manifest; event data is
+            # pulled chunk by chunk while feeding, so the monitor never
+            # materializes the full trace.
+            index = TraceIndex(args.trace)
+            definitions = index.definitions_trace()
+            cursor = index.cursor(
+                columns=STREAM_COLUMNS, chunk_events=chunk_events
+            )
+    except FileNotFoundError:
+        raise CLIError(f"trace file not found: {args.trace}")
+    except IsADirectoryError:
+        raise CLIError(f"trace path is a directory: {args.trace}")
+    except (TraceFormatError, ValueError) as err:
+        raise CLIError(f"cannot read trace {args.trace}: {err}")
+    except OSError as err:
+        raise CLIError(f"cannot read trace {args.trace}: {err}")
+
     analyzer = StreamingAnalyzer(
-        trace.regions,
-        trace.num_processes,
+        definitions.regions,
+        definitions.num_processes,
         dominant=args.function,
         alert_threshold=args.threshold,
+        history_limit=args.window,
     )
-    for rank in trace.ranks:
-        events = trace.events_of(rank)
-        for i in range(0, len(events), args.chunk):
-            for alert in analyzer.feed(rank, events[i : i + args.chunk]):
+    lag = obs.gauge("stream.lag_events")
+    total = 0
+    for batch in cursor:
+        if len(batch.events):
+            for alert in analyzer.feed(batch.rank, batch.events):
                 print(f"ALERT {alert}")
+            total += len(batch.events)
+        lag.set(float(getattr(cursor, "backlog_events", 0)))
     print(
-        f"streamed {trace.num_events} events; dominant "
+        f"streamed {total} events; dominant "
         f"{analyzer.dominant_name!r}; {len(analyzer.alerts)} alerts"
     )
     hot = analyzer.snapshot_hot_ranks()

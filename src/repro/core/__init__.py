@@ -9,6 +9,11 @@ from .compare import (
     compare_analyses,
     compare_traces,
 )
+from .incremental import (
+    FusedBootstrap,
+    IncrementalKernel,
+    incremental_bootstrap,
+)
 from .streaming import StreamAlert, StreamedSegment, StreamingAnalyzer
 from .explain import RegionShare, SegmentExplanation, explain_segment
 from .dominant import (
@@ -56,7 +61,9 @@ __all__ = [
     "CommMatrix",
     "DominantCandidate",
     "DominantSelection",
+    "FusedBootstrap",
     "Hotspot",
+    "IncrementalKernel",
     "MetricSeries",
     "ImbalanceReport",
     "RankHotspot",
@@ -89,6 +96,7 @@ __all__ = [
     "detect_trend",
     "explain_segment",
     "imbalance_percentage",
+    "incremental_bootstrap",
     "mann_kendall",
     "metric_series",
     "metric_sos_correlation",

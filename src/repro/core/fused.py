@@ -1,4 +1,4 @@
-"""Fused single-pass analysis kernel.
+"""Fused single-pass analysis kernel (batch entry point).
 
 The legacy pipeline touches every event stream twice before any
 analysis product exists: once in ``validate_trace`` (which builds the
@@ -8,13 +8,12 @@ depth-trick enter/leave pairing) and once in
 exact same masks and pairing from scratch), and then a third partial
 pass aggregates per-region statistics from the tables.
 
-:func:`fused_bootstrap` does all three per rank in **one** pass: the
-view is built once, the validation rules read it, the invocation table
-is assembled from the view's pairing
-(:func:`~repro.profiles.replay.table_from_pairing` — no re-sorting,
-no re-masking), and the per-rank statistics partial is accumulated
-immediately while the table is cache-hot.  Outputs are bitwise
-identical to the staged pipeline by construction:
+:func:`fused_bootstrap` does all three per rank in **one** pass.  The
+per-rank work lives in :class:`~repro.core.incremental.IncrementalKernel`
+— the cursor-driven engine behind streaming and the sharded workers —
+and this function is simply the batch driver: one whole-rank chunk per
+rank, finalised immediately.  Outputs are bitwise identical to the
+staged pipeline by construction:
 
 * diagnostics come from the same rules over the same views, finalised
   and translated exactly like :func:`repro.trace.validate.validate_trace`;
@@ -23,41 +22,17 @@ identical to the staged pipeline by construction:
 * statistics partials merge rank-ascending, which is the definition of
   :meth:`~repro.profiles.stats.FunctionStatistics.from_partials`.
 
-``tests/test_differential.py`` and the golden suite lock the identity.
+``tests/test_differential.py`` and the golden suite lock the identity,
+and — because this wrapper feeds the incremental kernel — they lock
+the batch/streaming engine parity at the same time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from .. import obs
-from ..profiles.replay import InvocationTable, match_invocations, table_from_pairing
-from ..profiles.stats import rank_statistics_arrays
 from ..trace.trace import Trace
-from ..trace.validate import ValidationIssue, ValidationReport
+from .incremental import FusedBootstrap, IncrementalKernel
 
 __all__ = ["FusedBootstrap", "fused_bootstrap"]
-
-#: Events pushed through the fused per-rank pass (telemetry).
-_C_EVENTS = obs.counter("analysis.events")
-
-
-@dataclass
-class FusedBootstrap:
-    """Products of one fused pass over a trace.
-
-    ``tables`` is keyed by rank and only contains ranks whose streams
-    were clean enough to replay (on an invalid trace the caller raises
-    from ``report`` before touching the tables); ``partials`` holds the
-    matching :func:`~repro.profiles.stats.rank_statistics_arrays`
-    outputs, ready for rank-ascending merging.
-    """
-
-    tables: dict[int, InvocationTable]
-    partials: dict[int, dict[str, np.ndarray]]
-    report: ValidationReport
 
 
 def fused_bootstrap(
@@ -71,89 +46,24 @@ def fused_bootstrap(
     """Validate, replay and profile-aggregate ``trace`` in one pass.
 
     With ``validate=False`` the lint scan is skipped and tables come
-    straight from :func:`match_invocations` (still fused with the
-    statistics aggregation).  ``table_ranks`` restricts table/partial
-    construction to a subset of ranks (validation still scans all of
-    them) — the shard workers use this to skip replay for ranks whose
-    products are already spilled.
+    straight from :func:`~repro.profiles.replay.match_invocations`
+    (still fused with the statistics aggregation).  ``table_ranks``
+    restricts table/partial construction to a subset of ranks
+    (validation still scans all of them) — the shard workers use this
+    to skip replay for ranks whose products are already spilled.
     """
-    n_regions = len(trace.regions)
-    tables: dict[int, InvocationTable] = {}
-    partials: dict[int, dict[str, np.ndarray]] = {}
-    ranks = trace.ranks
-    wanted = set(ranks) if table_ranks is None else set(table_ranks)
-
-    if not validate:
-        for rank in ranks:
-            if rank not in wanted:
-                continue
-            with obs.span("fused.rank"):
-                events = trace.events_of(rank)
-                _C_EVENTS.add(len(events))
-                table = match_invocations(events)
-                tables[rank] = table
-                partials[rank] = rank_statistics_arrays(table, n_regions)
-        return FusedBootstrap(tables, partials, ValidationReport())
-
-    from ..lint import all_rules
-    from ..lint.engine import (
-        LintShared,
-        RankView,
-        finalize_report,
-        scan_view,
-        validate_config,
-    )
-
-    config = validate_config(allow_empty_streams=allow_empty_streams)
-    shared = LintShared.from_definitions(
+    kernel = IncrementalKernel(
         trace.regions,
         trace.metrics,
         trace.num_processes,
-        ranks if known_ranks is None else known_ranks,
-        config,
+        trace.ranks,
+        validate=validate,
+        allow_empty_streams=allow_empty_streams,
+        known_ranks=known_ranks,
+        table_ranks=table_ranks,
+        trace_name=trace.name,
     )
-    diags = []
-    summaries = {}
-    for rank in ranks:
-        with obs.span("fused.rank"):
-            events = trace.events_of(rank)
-            _C_EVENTS.add(len(events))
-            view = RankView(shared, rank, events)
-            rank_diags, summary = scan_view(view)
-            diags.extend(rank_diags)
-            summaries[rank] = summary
-            if (
-                rank_diags
-                or (len(view.el_idx) and not view.balanced)
-                or rank not in wanted
-            ):
-                # Broken stream: the report below makes the caller raise,
-                # so there is no table to build (and building one could
-                # legitimately fail on the very defect just diagnosed).
-                # A stream with no ENTER/LEAVE events at all (p2p/metric
-                # only, or empty under allow_empty_streams) is *not*
-                # broken — the view leaves ``balanced`` False because
-                # there is nothing to pair, but replay is well-defined
-                # and yields an empty table, exactly as
-                # ``match_invocations`` does on the legacy path.
-                continue
-            table = table_from_pairing(
-                events, view.el_idx, view.enter_pos, view.leave_pos,
-                view.depth_after
-            )
-            tables[rank] = table
-            partials[rank] = rank_statistics_arrays(table, n_regions)
-
-    report = finalize_report(shared, diags, summaries, trace_name=trace.name)
-    legacy_of = {r.code: r.legacy_code for r in all_rules()}
-    issues = [
-        ValidationIssue(
-            rank=d.rank,
-            code=legacy_of.get(d.code) or d.code,
-            message=d.message,
-            position=d.position,
-            time=d.time,
-        )
-        for d in report.diagnostics
-    ]
-    return FusedBootstrap(tables, partials, ValidationReport(issues=issues))
+    for rank in trace.ranks:
+        kernel.feed(rank, trace.events_of(rank))
+        kernel.finish_rank(rank)
+    return kernel.finalize()

@@ -1,0 +1,312 @@
+"""Incremental (cursor-driven) analysis kernel.
+
+:func:`~repro.core.fused.fused_bootstrap` fuses validation, replay and
+statistics aggregation into one pass per rank, but it consumes a fully
+materialised :class:`~repro.trace.trace.Trace`.  This module is the
+same kernel turned inside out: :class:`IncrementalKernel` *accepts*
+event chunks per rank (from any :class:`~repro.trace.cursor.EventCursor`)
+and finalises each rank when its stream ends, so the batch path becomes
+"streaming over a finished file" and a live feed is just another
+producer.
+
+Identity guarantee
+------------------
+
+On a completed trace the kernel's products are **bitwise identical**
+to ``fused_bootstrap``: when a rank finishes, its buffered chunks are
+assembled into the exact column arrays the batch path would have
+loaded and run through the very same code
+(:class:`~repro.lint.engine.RankView` → ``scan_view`` →
+:func:`~repro.profiles.replay.table_from_pairing` →
+:func:`~repro.profiles.stats.rank_statistics_arrays`).  There is no
+re-implementation to drift; ``tests/test_differential.py`` locks the
+identity across chunk sizes, shard counts and file formats.
+
+Memory
+------
+
+Peak memory is bounded by the largest single rank (plus one transient
+copy while chunks are joined), **not** the trace: a rank's buffers are
+dropped as soon as it is finalised.  ``table_sink`` lets callers spill
+each rank's invocation table the moment it exists (the shard workers
+do), which keeps resident state to the per-region statistics partials —
+a few KiB per rank.  Chunk-granular replay would not improve on this
+asymptotically: the invocation table itself is Θ(events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .. import obs
+from ..profiles.replay import InvocationTable, match_invocations, table_from_pairing
+from ..profiles.stats import rank_statistics_arrays
+from ..trace.cursor import EventCursor
+from ..trace.definitions import MetricRegistry, RegionRegistry
+from ..trace.events import EventList
+from ..trace.validate import ValidationIssue, ValidationReport
+
+__all__ = ["FusedBootstrap", "IncrementalKernel", "incremental_bootstrap"]
+
+#: Events pushed through the fused per-rank pass (telemetry).
+_C_EVENTS = obs.counter("analysis.events")
+
+
+@dataclass
+class FusedBootstrap:
+    """Products of one fused pass over a trace.
+
+    ``tables`` is keyed by rank and only contains ranks whose streams
+    were clean enough to replay (on an invalid trace the caller raises
+    from ``report`` before touching the tables); ``partials`` holds the
+    matching :func:`~repro.profiles.stats.rank_statistics_arrays`
+    outputs, ready for rank-ascending merging.  Ranks handed to a
+    ``table_sink`` do not appear in ``tables``.
+    """
+
+    tables: dict[int, InvocationTable]
+    partials: dict[int, dict[str, np.ndarray]]
+    report: ValidationReport
+
+
+def _concat_chunks(chunks: list[EventList]) -> EventList:
+    """Join buffered chunks into the rank's full event list.
+
+    Single-chunk ranks pass through without copying.  The joined
+    columns are value-identical to a whole-rank load, so everything
+    computed from them is bitwise equal to the batch path.
+    """
+    if not chunks:
+        return EventList.empty()
+    if len(chunks) == 1:
+        return chunks[0]
+    from ..trace.events import _FIELDS
+
+    loaded = chunks[0].loaded_columns
+    arrays = {
+        col: np.concatenate([getattr(c, col) for c in chunks])
+        for col in loaded
+    }
+    if len(loaded) == len(_FIELDS):
+        return EventList(*(arrays[col] for col in _FIELDS))
+    return EventList.projected(arrays)
+
+
+class IncrementalKernel:
+    """Per-rank validate+replay+stats over incrementally fed chunks.
+
+    Parameters mirror :func:`~repro.core.fused.fused_bootstrap`:
+    ``ranks`` is the universe of ranks the pass covers (every one is
+    finalised, fed or not), ``known_ranks`` overrides the rank set the
+    lint rules consider defined (shard workers scan a subgroup of a
+    larger trace), ``table_ranks`` restricts table/partial construction,
+    and ``table_sink(rank, table)`` — when given — receives each
+    invocation table instead of it being retained in the result.
+
+    Protocol: any number of :meth:`feed` calls per rank (chunks in
+    time order), then :meth:`finish_rank` once; :meth:`finalize`
+    finishes whatever is still open and returns the
+    :class:`FusedBootstrap`.
+    """
+
+    def __init__(
+        self,
+        regions: RegionRegistry,
+        metrics: MetricRegistry,
+        num_processes: int,
+        ranks: Iterable[int],
+        *,
+        validate: bool = True,
+        allow_empty_streams: bool = False,
+        known_ranks=None,
+        table_ranks=None,
+        trace_name: str = "trace",
+        table_sink: Callable[[int, InvocationTable], None] | None = None,
+    ) -> None:
+        self._n_regions = len(regions)
+        self._ranks = list(ranks)
+        self._validate = validate
+        self._trace_name = trace_name
+        self._table_sink = table_sink
+        self._wanted = (
+            set(self._ranks) if table_ranks is None else set(table_ranks)
+        )
+        self.tables: dict[int, InvocationTable] = {}
+        self.partials: dict[int, dict[str, np.ndarray]] = {}
+        #: ``rank -> (n_events, t_first, t_last)`` for finished,
+        #: non-empty ranks (the shard workers' extent bookkeeping).
+        self.extents: dict[int, tuple[int, float, float]] = {}
+        self._buffers: dict[int, list[EventList]] = {}
+        self._last_time: dict[int, float] = {}
+        self._finished: set[int] = set()
+        self._diags: list = []
+        self._summaries: dict[int, object] = {}
+        self._shared = None
+        if validate:
+            from ..lint.engine import LintShared, validate_config
+
+            config = validate_config(allow_empty_streams=allow_empty_streams)
+            self._shared = LintShared.from_definitions(
+                regions,
+                metrics,
+                num_processes,
+                self._ranks if known_ranks is None else known_ranks,
+                config,
+            )
+
+    # -- feeding -------------------------------------------------------
+
+    def feed(self, rank: int, events: EventList) -> None:
+        """Buffer one time-ordered chunk of ``rank``'s stream."""
+        if rank in self._finished:
+            raise ValueError(f"rank {rank} is already finalized")
+        n = len(events)
+        if n == 0:
+            return
+        t0 = float(events.time[0])
+        last = self._last_time.get(rank)
+        if last is not None and t0 < last:
+            from .streaming import StreamOrderError
+
+            raise StreamOrderError(rank, t0, last)
+        self._last_time[rank] = float(events.time[-1])
+        self._buffers.setdefault(rank, []).append(events)
+
+    def finish_rank(self, rank: int) -> None:
+        """Finalise ``rank``: validate, replay, aggregate, drop buffers."""
+        if rank in self._finished:
+            return
+        self._finished.add(rank)
+        events = _concat_chunks(self._buffers.pop(rank, []))
+        self._last_time.pop(rank, None)
+        if len(events):
+            self.extents[rank] = (
+                len(events),
+                float(events.time[0]),
+                float(events.time[-1]),
+            )
+        if not self._validate:
+            if rank not in self._wanted:
+                return
+            with obs.span("fused.rank"):
+                _C_EVENTS.add(len(events))
+                self._emit(rank, match_invocations(events))
+            return
+        from ..lint.engine import RankView, scan_view
+
+        with obs.span("fused.rank"):
+            _C_EVENTS.add(len(events))
+            view = RankView(self._shared, rank, events)
+            rank_diags, summary = scan_view(view)
+            self._diags.extend(rank_diags)
+            self._summaries[rank] = summary
+            if (
+                rank_diags
+                or (len(view.el_idx) and not view.balanced)
+                or rank not in self._wanted
+            ):
+                # Broken stream: the report makes the caller raise, so
+                # there is no table to build (and building one could
+                # legitimately fail on the very defect just diagnosed).
+                # A stream with no ENTER/LEAVE events at all (p2p or
+                # metric only, or empty under allow_empty_streams) is
+                # *not* broken — replay of it is well-defined and
+                # yields an empty table, as on the legacy path.
+                return
+            table = table_from_pairing(
+                events, view.el_idx, view.enter_pos, view.leave_pos,
+                view.depth_after
+            )
+            self._emit(rank, table)
+
+    def _emit(self, rank: int, table: InvocationTable) -> None:
+        self.partials[rank] = rank_statistics_arrays(table, self._n_regions)
+        if self._table_sink is not None:
+            self._table_sink(rank, table)
+        else:
+            self.tables[rank] = table
+
+    # -- completion ----------------------------------------------------
+
+    def finalize(self) -> FusedBootstrap:
+        """Finish all remaining ranks and assemble the result."""
+        for rank in self._ranks:
+            if rank not in self._finished:
+                self.finish_rank(rank)
+        if not self._validate:
+            return FusedBootstrap(
+                self.tables, self.partials, ValidationReport()
+            )
+        from ..lint import all_rules
+        from ..lint.engine import finalize_report
+
+        report = finalize_report(
+            self._shared, self._diags, self._summaries,
+            trace_name=self._trace_name,
+        )
+        legacy_of = {r.code: r.legacy_code for r in all_rules()}
+        issues = [
+            ValidationIssue(
+                rank=d.rank,
+                code=legacy_of.get(d.code) or d.code,
+                message=d.message,
+                position=d.position,
+                time=d.time,
+            )
+            for d in report.diagnostics
+        ]
+        return FusedBootstrap(
+            self.tables, self.partials, ValidationReport(issues=issues)
+        )
+
+
+def incremental_bootstrap(
+    cursor: EventCursor,
+    *,
+    validate: bool = True,
+    allow_empty_streams: bool = False,
+    known_ranks=None,
+    table_ranks=None,
+    table_sink: Callable[[int, InvocationTable], None] | None = None,
+) -> FusedBootstrap:
+    """Drive a cursor through an :class:`IncrementalKernel`.
+
+    The cursor's :attr:`~repro.trace.cursor.EventCursor.definitions`
+    supply regions, metrics and the rank universe; batches are fed as
+    they arrive and each rank finalises on its ``final`` batch.  On a
+    completed trace the result is bitwise identical to
+    :func:`~repro.core.fused.fused_bootstrap` over the same events.
+
+    Pure stream cursors (pipes) expose definitions only once the
+    header has been parsed, so the kernel is created lazily at the
+    first batch rather than up front.
+    """
+
+    def _kernel() -> IncrementalKernel:
+        defs = cursor.definitions
+        return IncrementalKernel(
+            defs.regions,
+            defs.metrics,
+            defs.num_processes,
+            cursor.ranks,
+            validate=validate,
+            allow_empty_streams=allow_empty_streams,
+            known_ranks=known_ranks,
+            table_ranks=table_ranks,
+            trace_name=defs.name,
+            table_sink=table_sink,
+        )
+
+    kernel = None
+    for batch in cursor:
+        if kernel is None:
+            kernel = _kernel()
+        kernel.feed(batch.rank, batch.events)
+        if batch.final:
+            kernel.finish_rank(batch.rank)
+    if kernel is None:
+        kernel = _kernel()
+    return kernel.finalize()

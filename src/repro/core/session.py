@@ -353,6 +353,7 @@ class AnalysisSession:
         max_memory_mb: float | None = None,
         source_path: str | os.PathLike | None = None,
         lint=None,
+        chunk_events: int | None = None,
     ) -> None:
         from .pipeline import AnalysisConfig  # deferred: pipeline imports us
 
@@ -367,6 +368,11 @@ class AnalysisSession:
         self.parallel = parallel
         self.shards = shards
         self.max_memory_mb = max_memory_mb
+        if chunk_events is not None and chunk_events <= 0:
+            raise ValueError(f"chunk_events must be > 0, got {chunk_events}")
+        #: explicit cursor batch size for the shard workers; ``None``
+        #: derives one from ``max_memory_mb`` (or reads whole ranks)
+        self.chunk_events = chunk_events
         self.source_path = os.fspath(source_path) if source_path else None
         self.sharded = shards is not None or max_memory_mb is not None
         self._index = None  # TraceIndex over source_path (lazy)
@@ -455,6 +461,17 @@ class AnalysisSession:
             plan = plan_shards(
                 counts, shards=self.shards, max_memory_mb=self.max_memory_mb
             )
+            chunk_events = self.chunk_events
+            if chunk_events is None and self.max_memory_mb is not None:
+                # Make the planner's budget a hard per-worker bound:
+                # cursor batches never exceed the budgeted event count,
+                # so a rank larger than the budget streams through in
+                # windows instead of being loaded as one slab.
+                from .shard import BYTES_PER_EVENT
+
+                chunk_events = max(
+                    int(self.max_memory_mb * 1e6) // BYTES_PER_EVENT, 1
+                )
             self._engine = ShardEngine(
                 plan,
                 source_path=self.source_path,
@@ -462,6 +479,7 @@ class AnalysisSession:
                 n_regions=len(self.trace.regions),
                 spill_dir=self.cache.root if self.cache is not None else None,
                 validate=self.config.validate,
+                chunk_events=chunk_events,
             )
         return self._engine
 

@@ -282,11 +282,7 @@ def _phase1_shard_impl(payload: dict) -> dict:
 
         index = TraceIndex(payload["path"])
         digests = {r: index.rank_digest(r) for r in ranks}
-        if payload["validate"]:
-            columns = lint_columns(validate_config())
-        else:
-            columns = REPLAY_COLUMNS
-        trace = index.load(ranks, columns=columns)
+        trace = None
 
     # Spill hits skip replay entirely; the fused pass still validates
     # those ranks (diagnostics are not cached), it just builds no table.
@@ -303,12 +299,52 @@ def _phase1_shard_impl(payload: dict) -> dict:
         else:
             need.append(rank)
 
-    boot = fused_bootstrap(
-        trace,
-        validate=payload["validate"],
-        known_ranks=frozenset(payload["known_ranks"]),
-        table_ranks=need,
-    )
+    if trace is not None:
+        boot = fused_bootstrap(
+            trace,
+            validate=payload["validate"],
+            known_ranks=frozenset(payload["known_ranks"]),
+            table_ranks=need,
+        )
+        spilled: set[int] = set()
+    else:
+        # Path mode streams the shard through the incremental kernel:
+        # chunked, column-projected reads (one batch resident at a
+        # time for v2 raw columns) and per-rank table spill the moment
+        # a table exists — peak memory tracks the chunk budget, not
+        # the rank group.
+        from .incremental import IncrementalKernel
+
+        if payload["validate"]:
+            columns = lint_columns(validate_config())
+        else:
+            columns = REPLAY_COLUMNS
+        spilled = set()
+
+        def _sink(rank: int, table) -> None:
+            spill.store(f"inv-{digests[rank]}", _table_to_arrays(table))
+            spilled.add(rank)
+
+        kernel = IncrementalKernel(
+            index.regions,
+            index.metrics,
+            len(ranks),
+            ranks,
+            validate=payload["validate"],
+            known_ranks=frozenset(payload["known_ranks"]),
+            table_ranks=need,
+            trace_name=index.name,
+            table_sink=_sink,
+        )
+        for batch in index.cursor(
+            ranks=ranks, columns=columns,
+            chunk_events=payload.get("chunk_events"),
+        ):
+            kernel.feed(batch.rank, batch.events)
+            if batch.final:
+                kernel.finish_rank(batch.rank)
+        boot = kernel.finalize()
+
     issues = [
         (i.rank, i.code, i.message, i.position, i.time)
         for i in boot.report.issues
@@ -319,14 +355,20 @@ def _phase1_shard_impl(payload: dict) -> dict:
         return {"digests": {}, "partials": {}, "extents": {},
                 "issues": issues, "replayed": 0, "reused": 0}
     extents: dict[int, tuple[int, float, float]] = {}
-    for rank in ranks:
-        events = trace.events_of(rank)
-        if len(events):
-            extents[rank] = (
-                len(events), float(events.time[0]), float(events.time[-1])
-            )
+    if trace is not None:
+        for rank in ranks:
+            events = trace.events_of(rank)
+            if len(events):
+                extents[rank] = (
+                    len(events), float(events.time[0]), float(events.time[-1])
+                )
+    else:
+        extents = dict(kernel.extents)
     for rank in need:
-        spill.store(f"inv-{digests[rank]}", _table_to_arrays(boot.tables[rank]))
+        if rank not in spilled:
+            spill.store(
+                f"inv-{digests[rank]}", _table_to_arrays(boot.tables[rank])
+            )
         partial = boot.partials[rank]
         spill.store(f"rankstats-{digests[rank]}", partial)
         partials[rank] = partial
@@ -531,6 +573,11 @@ class ShardEngine:
         Worker-process count; default from :func:`shard_workers`.
     validate:
         Run structural validation inside phase-1 workers.
+    chunk_events:
+        Batch size (events) of the phase-1 workers' cursor reads
+        (path mode).  ``None`` reads one whole-rank batch per rank;
+        a bound makes the per-worker memory budget a hard guarantee
+        instead of a planning estimate.
     """
 
     def __init__(
@@ -543,14 +590,18 @@ class ShardEngine:
         spill_dir: str | os.PathLike | None = None,
         workers: int | None = None,
         validate: bool = True,
+        chunk_events: int | None = None,
     ) -> None:
         if (source_path is None) == (trace is None):
             raise ValueError("pass exactly one of source_path or trace")
+        if chunk_events is not None and chunk_events <= 0:
+            raise ValueError(f"chunk_events must be > 0, got {chunk_events}")
         self.plan = plan
         self.source_path = os.fspath(source_path) if source_path else None
         self.trace = trace
         self.n_regions = n_regions
         self.validate = validate
+        self.chunk_events = chunk_events
         self.workers = (
             shard_workers(plan.num_shards) if workers is None else workers
         )
@@ -578,6 +629,7 @@ class ShardEngine:
             }
             if self.source_path is not None:
                 payload["path"] = self.source_path
+                payload["chunk_events"] = self.chunk_events
             else:
                 payload["trace"] = select_ranks(self.trace, group)
             payloads.append(payload)

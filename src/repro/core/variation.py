@@ -86,24 +86,8 @@ class TrendResult:
         )
 
 
-#: Cache for the pairwise index/denominator arrays shared by the
-#: Theil–Sen slope across repeated trend calls on equally long series.
-#: One entry only: both detect_trend invocations of an analysis run use
-#: the same series length, and the arrays are large (O(n²)).
-_PAIR_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-
 #: Below this length, count inversions by direct pairwise comparison.
 _INV_BRUTE = 64
-
-
-def _pair_arrays(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    if n not in _PAIR_CACHE:
-        _PAIR_CACHE.clear()
-        lo, hi = np.triu_indices(n, 1)
-        dx = (hi - lo).astype(np.float64)
-        # int32 indices halve the gather traffic; n is ≪ 2^31.
-        _PAIR_CACHE[n] = (lo.astype(np.int32), hi.astype(np.int32), dx)
-    return _PAIR_CACHE[n]
 
 
 def _inversions(v: np.ndarray) -> tuple[int, np.ndarray]:
@@ -164,12 +148,23 @@ def _theil_sen_slope(series: np.ndarray) -> float:
 
     Bitwise-identical to ``scipy.stats.theilslopes(series, arange(n))[0]``:
     the pairwise slope multiset ``(y_j - y_i) / (j - i)`` for i < j is
-    exactly the set scipy builds from its ``deltax > 0`` mask, and
-    ``np.median`` selects the same order statistics either way.
+    exactly the set scipy builds from its ``deltax > 0`` mask, and the
+    median selects the same order statistics either way.  The slopes
+    are generated gap-by-gap (``(y[d:] - y[:-d]) / d``) straight into
+    one flat buffer which the median then partitions in place, so peak
+    memory is one float per pair — not the five-per-pair of index
+    arrays plus gather temporaries plus a median copy.
     """
-    lo, hi, dx = _pair_arrays(len(series))
-    slopes = (series[hi] - series[lo]) / dx
-    return float(np.median(slopes))
+    n = len(series)
+    slopes = np.empty(n * (n - 1) // 2, dtype=np.float64)
+    pos = 0
+    for d in range(1, n):
+        m = n - d
+        out = slopes[pos : pos + m]
+        np.subtract(series[d:], series[:-d], out=out)
+        out /= d
+        pos += m
+    return float(np.median(slopes, overwrite_input=True))
 
 
 def mann_kendall(values: np.ndarray) -> tuple[float, float]:

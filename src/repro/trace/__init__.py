@@ -16,6 +16,14 @@ Public surface:
 
 from .binio import read_binary, write_binary
 from .builder import ProcessBuilder, TraceBuilder
+from .cursor import (
+    EventBatch,
+    EventCursor,
+    FeedCursor,
+    IndexCursor,
+    JsonlStreamCursor,
+    TailCursor,
+)
 from .definitions import (
     Location,
     Metric,
@@ -43,9 +51,14 @@ from .writer import write_jsonl
 
 __all__ = [
     "Event",
+    "EventBatch",
+    "EventCursor",
     "EventKind",
     "EventList",
     "EventListBuilder",
+    "FeedCursor",
+    "IndexCursor",
+    "JsonlStreamCursor",
     "Location",
     "Metric",
     "MetricMode",
@@ -58,6 +71,7 @@ __all__ = [
     "Region",
     "RegionRegistry",
     "RegionRole",
+    "TailCursor",
     "Trace",
     "TraceBuilder",
     "TraceFingerprint",

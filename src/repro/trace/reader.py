@@ -613,6 +613,102 @@ class TraceIndex:
             )
         return events
 
+    def _project_columns(
+        self, columns: Sequence[str] | None
+    ) -> tuple[str, ...] | None:
+        if columns is None:
+            return None
+        unknown = sorted(set(columns) - set(_BIN_COLUMNS))
+        if unknown:
+            raise ValueError(
+                f"unknown event columns: {', '.join(unknown)}"
+            )
+        keep = set(columns) | {"time"}
+        return tuple(col for col in _BIN_COLUMNS if col in keep)
+
+    def supports_slices(
+        self, rank: int, columns: Sequence[str] | None = None
+    ) -> bool:
+        """True when ``load_events`` can read sub-ranges of ``rank``
+        as exact byte ranges (binary format, ``raw`` column codec)."""
+        chunk = self._chunks.get(rank)
+        if chunk is None or self.format != "rpt":
+            return False
+        project = self._project_columns(columns) or _BIN_COLUMNS
+        return all(chunk.columns[col][3] == "raw" for col in project)
+
+    def load_events(
+        self,
+        rank: int,
+        columns: Sequence[str] | None = None,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> EventList:
+        """Events ``[start, stop)`` of one rank.
+
+        For ``raw`` binary columns the slice is served from its exact
+        byte range (mmap view or a bounded read), so memory is bounded
+        by the slice, not the rank.  Other layouts
+        (zlib columns, ``.jsonl`` records) cannot be partially
+        decoded; asking for a strict sub-range of one raises
+        :class:`ValueError` — check :meth:`supports_slices` first, or
+        load the whole rank and slice the returned views.
+        """
+        chunk = self._chunks.get(rank)
+        n = chunk.n_events if chunk is not None else 0
+        stop = n if stop is None else min(stop, n)
+        start = max(int(start), 0)
+        if start == 0 and stop >= n:
+            return self.load([rank], columns=columns).events_of(rank)
+        if not self.supports_slices(rank, columns):
+            raise ValueError(
+                f"rank {rank} of {self.path!r} does not support sliced "
+                "reads (zlib/jsonl storage); load the whole rank instead"
+            )
+        project = self._project_columns(columns) or _BIN_COLUMNS
+        count = max(stop - start, 0)
+        buf = self._buffer()
+        arrays: dict[str, np.ndarray] = {}
+        with obs.span("io.load"), open(self.path, "rb") as fp:
+            for col in project:
+                offset, _length, dtype_str, _codec = chunk.columns[col]
+                where = f"location {rank} column {col}"
+                dtype = parse_dtype(dtype_str, where, TraceFormatError)
+                byte_off = offset + start * dtype.itemsize
+                if buf is not None:
+                    try:
+                        arr = np.frombuffer(
+                            buf, dtype=dtype, count=count, offset=byte_off
+                        )
+                    except ValueError as err:
+                        raise TraceFormatError(f"{where}: {err}") from err
+                    _C_MMAPPED.add(count * dtype.itemsize)
+                else:
+                    blob = self._read_column_blob(
+                        fp, byte_off, count * dtype.itemsize, where
+                    )
+                    arr = np.frombuffer(blob, dtype=dtype)
+                arrays[col] = arr
+        _C_EVENTS_LOADED.add(count)
+        if len(project) == len(_BIN_COLUMNS):
+            return EventList(*(arrays[col] for col in _BIN_COLUMNS))
+        return EventList.projected(arrays)
+
+    def cursor(
+        self,
+        ranks: Sequence[int] | None = None,
+        columns: Sequence[str] | None = None,
+        chunk_events: int | None = None,
+    ):
+        """Pull-based :class:`~repro.trace.cursor.IndexCursor` over
+        this file: ranks ascending, at most ``chunk_events`` events per
+        batch (``None`` = one whole-rank batch per rank)."""
+        from .cursor import IndexCursor
+
+        return IndexCursor(
+            self, ranks=ranks, columns=columns, chunk_events=chunk_events
+        )
+
     def load(
         self,
         ranks: Sequence[int] | None = None,
@@ -633,15 +729,7 @@ class TraceIndex:
         entirely; for v2 raw columns the full load is already a
         zero-copy view, but projecting still skips validation work.
         """
-        project: tuple[str, ...] | None = None
-        if columns is not None:
-            unknown = sorted(set(columns) - set(_BIN_COLUMNS))
-            if unknown:
-                raise ValueError(
-                    f"unknown event columns: {', '.join(unknown)}"
-                )
-            keep = set(columns) | {"time"}
-            project = tuple(col for col in _BIN_COLUMNS if col in keep)
+        project = self._project_columns(columns)
         wanted: Iterable[int] = self.ranks if ranks is None else ranks
         wanted = list(wanted)
         for rank in wanted:

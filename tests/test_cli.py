@@ -329,3 +329,75 @@ class TestMonitor:
         out = capsys.readouterr().out
         assert "ALERT rank 2 segment 8" in out
         assert "streamed" in out
+
+    @pytest.fixture()
+    def monitor_trace(self):
+        from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+        return generate(
+            SyntheticConfig(ranks=6, iterations=12,
+                            outliers={(2, 8): 0.06}, seed=5)
+        )
+
+    def test_chunk_events_output_invariant(self, monitor_trace, tmp_path,
+                                           capsys):
+        from repro.trace import write_binary
+
+        path = tmp_path / "mon.rpt"
+        write_binary(monitor_trace, path, version=2, codec="raw")
+        outputs = []
+        for chunk in ("1", "4096"):
+            assert main(["monitor", str(path), "--function", "iteration",
+                         "--chunk-events", chunk]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "ALERT rank 2 segment 8" in outputs[0]
+
+    def test_window_flag_bounds_history(self, monitor_trace, tmp_path,
+                                        capsys):
+        from repro.trace import write_binary
+
+        path = tmp_path / "mon.rpt"
+        write_binary(monitor_trace, path)
+        assert main(["monitor", str(path), "--function", "iteration",
+                     "--window", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT rank 2 segment 8" in out  # alerts survive eviction
+
+    def test_follow_tails_live_jsonl(self, monitor_trace, tmp_path, capsys):
+        import threading
+        import time
+
+        from repro.trace import write_jsonl
+
+        full = tmp_path / "full.jsonl"
+        write_jsonl(monitor_trace, full)
+        live = tmp_path / "live.jsonl"
+        live.write_text("")
+
+        def writer():
+            with open(live, "a") as fp:
+                for line in full.read_text().splitlines(keepends=True):
+                    fp.write(line)
+                    fp.flush()
+                    time.sleep(0.001)
+                fp.write('{"record": "end"}\n')
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            assert main(["monitor", str(live), "--function", "iteration",
+                         "--follow"]) == 0
+        finally:
+            thread.join()
+        out = capsys.readouterr().out
+        assert "ALERT rank 2 segment 8" in out
+        assert f"streamed {monitor_trace.num_events} events" in out
+
+    def test_follow_rejects_binary(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "mon.rpt"), "--follow"]) == 2
+        assert "jsonl" in capsys.readouterr().err
+
+    def test_bad_chunk_events(self, trace_path, capsys):
+        assert main(["monitor", str(trace_path), "--chunk-events", "0"]) == 2
+        assert "chunk-events" in capsys.readouterr().err

@@ -436,3 +436,104 @@ class TestStreamingBatchEquivalence:
         chunked = self._series(trace, chunk=5)
         for rank in trace.ranks:
             np.testing.assert_allclose(chunked[rank], offline[rank].sos)
+
+    @given(
+        boundaries=st.lists(
+            st.integers(min_value=1, max_value=5000),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_chunk_boundaries(self, trace, boundaries):
+        """Fragmenting the stream at arbitrary positions never changes
+        a single bit of the streamed series (satellite of the cursor
+        engine PR: chunking is a transport detail)."""
+        whole = self._series(trace, chunk=10**9)
+        analyzer = StreamingAnalyzer(
+            trace.regions, trace.num_processes, dominant="iteration"
+        )
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            cuts = sorted({b % (len(events) + 1) for b in boundaries})
+            prev = 0
+            for cut in cuts + [len(events)]:
+                analyzer.feed(rank, events[prev:cut])  # may be empty
+                prev = cut
+        for rank in trace.ranks:
+            np.testing.assert_array_equal(
+                analyzer.sos_series(rank), whole[rank]
+            )
+
+
+CURSOR_CHUNKS = (1, 4096, None)  # one event, a page, whole file
+
+
+class TestIncrementalEqualsFused:
+    """The cursor-driven kernel equals the batch kernel, bitwise.
+
+    ``incremental_bootstrap`` consumes chunked, column-projected
+    batches pulled from a file; ``fused_bootstrap`` sees each rank as
+    one slab.  On a completed trace the two must be indistinguishable
+    — same tables, same statistics partials, same diagnostics — for
+    every golden workload, both ``.rpt`` container versions, and chunk
+    sizes from one event to the whole file.
+    """
+
+    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("chunk", CURSOR_CHUNKS)
+    def test_cursor_kernel_matches_fused(
+        self, scenario, chunk, version, tmp_path
+    ):
+        from repro.core.fused import fused_bootstrap
+        from repro.core.incremental import incremental_bootstrap
+        from repro.trace.reader import TraceIndex
+
+        name, trace, reference = scenario
+        path = tmp_path / f"{name}-v{version}.rpt"
+        kwargs = {"codec": "raw"} if version == 2 else {}
+        write_binary(trace, path, version=version, **kwargs)
+        index = TraceIndex(path)
+        got = incremental_bootstrap(index.cursor(chunk_events=chunk))
+        want = fused_bootstrap(index.load())
+
+        key = lambda i: (i.rank, i.code, i.message, i.position, i.time)
+        assert [key(i) for i in got.report.issues] == [
+            key(i) for i in want.report.issues
+        ]
+        assert sorted(got.tables) == sorted(want.tables)
+        for rank in want.tables:
+            for col in ("region", "t_enter", "t_leave", "depth", "parent"):
+                assert np.array_equal(
+                    getattr(got.tables[rank], col),
+                    getattr(want.tables[rank], col),
+                ), f"rank {rank} table column {col} differs"
+            for stat, arr in want.partials[rank].items():
+                assert np.array_equal(got.partials[rank][stat], arr), (
+                    f"rank {rank} partial {stat} differs"
+                )
+
+
+class TestChunkedShardWorkers:
+    """Worker cursor batch size never leaks into analysis products."""
+
+    _files: dict = {}
+
+    @pytest.fixture()
+    def trace_file(self, scenario, tmp_path_factory):
+        name, trace, reference = scenario
+        if name not in self._files:
+            path = tmp_path_factory.mktemp("chunked") / f"{name}.rpt"
+            write_binary(trace, path, version=2, codec="raw")
+            self._files[name] = path
+        return reference, self._files[name]
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("chunk", CURSOR_CHUNKS)
+    def test_all_workloads(self, trace_file, shards, chunk, monkeypatch):
+        reference, path = trace_file
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "1")
+        session = AnalysisSession(
+            None, source_path=path, shards=shards, chunk_events=chunk
+        )
+        assert_identical_analysis(reference, session.analysis())

@@ -1,0 +1,203 @@
+"""The incremental kernel: chunked feeds equal whole-trace analysis.
+
+:class:`repro.core.incremental.IncrementalKernel` is the single engine
+behind ``fused_bootstrap``, the sharded workers and the streaming
+consumer.  These tests pin its per-rank contract directly: arbitrary
+chunking of ``feed()`` calls is invisible in the products, boundary
+violations fail loudly with the tracelint diagnostic, and the
+``table_sink`` spill path hands every table out exactly once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fused import fused_bootstrap
+from repro.core.incremental import IncrementalKernel
+from repro.core.streaming import StreamOrderError
+
+_TABLE_COLUMNS = ("region", "t_enter", "t_leave", "depth", "parent")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+    return generate(
+        SyntheticConfig(
+            ranks=5,
+            iterations=6,
+            base_compute=0.005,
+            slow_ranks={3: 1.4},
+            seed=21,
+        )
+    )
+
+
+def _kernel(trace, **kwargs):
+    return IncrementalKernel(
+        trace.regions,
+        trace.metrics,
+        trace.num_processes,
+        trace.ranks,
+        trace_name=trace.name,
+        **kwargs,
+    )
+
+
+def _assert_same_boot(got, want):
+    key = lambda i: (i.rank, i.code, i.message, i.position, i.time)
+    assert [key(i) for i in got.report.issues] == [
+        key(i) for i in want.report.issues
+    ]
+    assert sorted(got.tables) == sorted(want.tables)
+    for rank in want.tables:
+        for col in _TABLE_COLUMNS:
+            np.testing.assert_array_equal(
+                getattr(got.tables[rank], col), getattr(want.tables[rank], col)
+            )
+        for stat, arr in want.partials[rank].items():
+            np.testing.assert_array_equal(got.partials[rank][stat], arr)
+
+
+class TestChunkedFeeds:
+    @pytest.mark.parametrize("chunk", [1, 13, 4096])
+    def test_equal_to_batch(self, trace, chunk):
+        want = fused_bootstrap(trace)
+        kernel = _kernel(trace)
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            for i in range(0, len(events), chunk):
+                kernel.feed(rank, events[i : i + chunk])
+            kernel.finish_rank(rank)
+        _assert_same_boot(kernel.finalize(), want)
+
+    def test_interleaved_ranks(self, trace):
+        """Ranks may interleave arbitrarily (live feeds do)."""
+        want = fused_bootstrap(trace)
+        kernel = _kernel(trace)
+        offsets = {rank: 0 for rank in trace.ranks}
+        step = 11
+        progressed = True
+        while progressed:
+            progressed = False
+            for rank in trace.ranks:
+                events = trace.events_of(rank)
+                i = offsets[rank]
+                if i < len(events):
+                    kernel.feed(rank, events[i : i + step])
+                    offsets[rank] = i + step
+                    progressed = True
+        _assert_same_boot(kernel.finalize(), want)
+
+    def test_empty_chunks_are_noops(self, trace):
+        want = fused_bootstrap(trace)
+        kernel = _kernel(trace)
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            kernel.feed(rank, events[:0])
+            kernel.feed(rank, events[: len(events) // 2])
+            kernel.feed(rank, events[:0])
+            kernel.feed(rank, events[len(events) // 2 :])
+        _assert_same_boot(kernel.finalize(), want)
+
+    def test_validate_false(self, trace):
+        want = fused_bootstrap(trace, validate=False)
+        kernel = _kernel(trace, validate=False)
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            for i in range(0, len(events), 7):
+                kernel.feed(rank, events[i : i + 7])
+        _assert_same_boot(kernel.finalize(), want)
+
+
+class TestKernelContract:
+    def test_out_of_order_chunk_raises(self, trace):
+        kernel = _kernel(trace)
+        rank = trace.ranks[0]
+        events = trace.events_of(rank)
+        kernel.feed(rank, events[10:20])
+        with pytest.raises(StreamOrderError, match="not time-ordered") as err:
+            kernel.feed(rank, events[:10])
+        assert err.value.code == "TL004"
+
+    def test_feed_after_finish_raises(self, trace):
+        kernel = _kernel(trace)
+        rank = trace.ranks[0]
+        kernel.finish_rank(rank)
+        with pytest.raises(ValueError, match="finalized"):
+            kernel.feed(rank, trace.events_of(rank)[:4])
+
+    def test_finish_is_idempotent(self, trace):
+        kernel = _kernel(trace)
+        rank = trace.ranks[0]
+        kernel.feed(rank, trace.events_of(rank))
+        kernel.finish_rank(rank)
+        kernel.finish_rank(rank)
+        boot = kernel.finalize()
+        assert rank in boot.tables
+
+    def test_finalize_closes_open_ranks(self, trace):
+        want = fused_bootstrap(trace)
+        kernel = _kernel(trace)
+        for rank in trace.ranks:
+            kernel.feed(rank, trace.events_of(rank))
+        # finish_rank never called: finalize must close every rank.
+        _assert_same_boot(kernel.finalize(), want)
+
+    def test_extents_match_streams(self, trace):
+        kernel = _kernel(trace)
+        for rank in trace.ranks:
+            kernel.feed(rank, trace.events_of(rank))
+        kernel.finalize()
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            assert kernel.extents[rank] == (
+                len(events),
+                float(events.time[0]),
+                float(events.time[-1]),
+            )
+
+
+class TestTableSink:
+    def test_sink_receives_every_table_once(self, trace):
+        want = fused_bootstrap(trace)
+        sunk = {}
+
+        def sink(rank, table):
+            assert rank not in sunk
+            sunk[rank] = table
+
+        kernel = _kernel(trace, table_sink=sink)
+        for rank in trace.ranks:
+            kernel.feed(rank, trace.events_of(rank))
+            kernel.finish_rank(rank)
+        boot = kernel.finalize()
+        # Sinked tables are handed out, not retained.
+        assert not boot.tables
+        assert sorted(sunk) == sorted(want.tables)
+        for rank, table in sunk.items():
+            for col in _TABLE_COLUMNS:
+                np.testing.assert_array_equal(
+                    getattr(table, col), getattr(want.tables[rank], col)
+                )
+        # Partials are always retained (they are small and the
+        # phase-2 merge needs them rank-ascending).
+        assert sorted(boot.partials) == sorted(want.partials)
+
+    def test_table_ranks_subset(self, trace):
+        want = fused_bootstrap(trace)
+        subset = trace.ranks[::2]
+        kernel = _kernel(trace, table_ranks=subset)
+        for rank in trace.ranks:
+            kernel.feed(rank, trace.events_of(rank))
+        boot = kernel.finalize()
+        assert sorted(boot.tables) == sorted(subset)
+        for rank in subset:
+            np.testing.assert_array_equal(
+                boot.tables[rank].t_enter, want.tables[rank].t_enter
+            )
+        # Validation still covered all ranks.
+        key = lambda i: (i.rank, i.code, i.message)
+        assert [key(i) for i in boot.report.issues] == [
+            key(i) for i in want.report.issues
+        ]

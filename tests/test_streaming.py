@@ -181,3 +181,265 @@ class TestStreamValidation:
     def test_bad_process_count(self, stream_trace):
         with pytest.raises(ValueError):
             StreamingAnalyzer(stream_trace.regions, 0)
+
+
+class TestStreamDiagnostics:
+    """Malformed streams raise the offline validator's diagnostics."""
+
+    def test_out_of_order_after_empty_chunk(self, stream_trace):
+        """Regression: an empty ``feed()`` must not reset the rank's
+        time horizon — a later out-of-order chunk still fails."""
+        from repro.core.streaming import StreamOrderError
+
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        events = stream_trace.events_of(0)
+        analyzer.feed(0, events[10:20])
+        analyzer.feed(0, events[0:0])  # empty chunk: a no-op
+        with pytest.raises(StreamOrderError, match="not time-ordered") as err:
+            analyzer.feed(0, events[0:5])
+        assert err.value.code == "TL004"
+        assert err.value.legacy_code == "time-order"
+
+    def test_mismatched_leave_code(self):
+        from repro.core.streaming import StreamStructureError
+
+        tb = TraceBuilder()
+        tb.region("a")
+        tb.region("b")
+        p = tb.process(0)
+        p.enter(0.0, "a")
+        p.enter(1.0, "b")
+        p.leave(2.0)
+        p.leave(3.0)
+        events = tb.freeze().events_of(0)
+        keep = np.asarray([True, True, False, True])
+        for dominant in ("a", None):  # vectorised and warm-up paths
+            analyzer = StreamingAnalyzer(tb.freeze().regions, 1,
+                                         dominant=dominant)
+            with pytest.raises(StreamStructureError, match="does not match") as err:
+                analyzer.feed(0, events.select(keep))
+            assert err.value.code == "TL003"
+            assert err.value.legacy_code == "mismatched-leave"
+
+    def test_unmatched_leave_code(self):
+        from repro.core.streaming import StreamStructureError
+
+        tb = TraceBuilder()
+        tb.region("a")
+        p = tb.process(0)
+        p.enter(0.0, "a")
+        p.leave(1.0)
+        events = tb.freeze().events_of(0)
+        for dominant in ("a", None):
+            analyzer = StreamingAnalyzer(tb.freeze().regions, 1,
+                                         dominant=dominant)
+            with pytest.raises(StreamStructureError) as err:
+                analyzer.feed(0, events[1:])  # bare leave, empty stack
+            assert err.value.code == "TL001"
+            assert err.value.legacy_code == "unmatched-leave"
+
+    def test_mismatch_across_chunk_boundary(self):
+        """A leave closing a frame carried over from an earlier chunk
+        is checked against that carried frame."""
+        from repro.core.streaming import StreamStructureError
+
+        tb = TraceBuilder()
+        tb.region("a")
+        tb.region("b")
+        p = tb.process(0)
+        p.enter(0.0, "a")
+        p.enter(1.0, "b")
+        p.leave(2.0)
+        p.leave(3.0)
+        events = tb.freeze().events_of(0)
+        keep = np.asarray([True, True, False, True])
+        bad = events.select(keep)
+        analyzer = StreamingAnalyzer(tb.freeze().regions, 1, dominant="a")
+        analyzer.feed(0, bad[:2])  # open a, b in one chunk
+        with pytest.raises(StreamStructureError) as err:
+            analyzer.feed(0, bad[2:])  # leave of a against open b
+        assert err.value.code == "TL003"
+
+
+class TestBoundedHistory:
+    def test_eviction_keeps_totals_and_indices(self, stream_trace):
+        bounded = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration", history_limit=5,
+        )
+        unbounded = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(bounded, stream_trace)
+        feed_all(unbounded, stream_trace)
+        for rank in stream_trace.ranks:
+            segments = bounded.segments(rank)
+            assert len(segments) == 5
+            # Indices keep counting globally across evictions.
+            assert [s.index for s in segments] == list(range(15, 20))
+        # 20 segments per rank, 5 retained -> 15 evictions per rank.
+        assert bounded.window_evictions == 15 * len(stream_trace.ranks)
+        # Running totals (and hence hot-rank snapshots) are unaffected.
+        assert bounded.per_rank_total() == unbounded.per_rank_total()
+        assert bounded.snapshot_hot_ranks() == unbounded.snapshot_hot_ranks()
+
+    def test_alerts_survive_eviction(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration", history_limit=2,
+        )
+        feed_all(analyzer, stream_trace)
+        assert analyzer.alerts
+        assert analyzer.alerts[0].segment.rank == 2
+        assert analyzer.alerts[0].segment.index == 14
+
+    def test_invalid_limit(self, stream_trace):
+        with pytest.raises(ValueError, match="history_limit"):
+            StreamingAnalyzer(
+                stream_trace.regions, stream_trace.num_processes,
+                history_limit=0,
+            )
+
+
+class TestCandidates:
+    def test_rolling_candidates_from_warmup(self, stream_trace):
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            warmup_invocations=10**9,  # never auto-select
+        )
+        feed_all(analyzer, stream_trace)
+        ranked = analyzer.candidates(3)
+        assert ranked
+        names = [stream_trace.regions[r].name for r, _, _ in ranked]
+        assert names[0] == "iteration"
+        # Inclusive-descending, non-sync only, counts positive.
+        inclusive = [t for _, _, t in ranked]
+        assert inclusive == sorted(inclusive, reverse=True)
+        assert all(count > 0 for _, count, _ in ranked)
+        mask = analyzer._sync_mask
+        assert not any(mask[r] for r, _, _ in ranked)
+
+
+class TestConsumeCursor:
+    def test_feed_cursor_equivalent(self, stream_trace):
+        from repro.trace.cursor import FeedCursor
+
+        reference = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(reference, stream_trace)
+
+        from repro.trace import Trace
+        from repro.trace.events import EventList
+
+        skeleton = Trace(regions=stream_trace.regions,
+                         metrics=stream_trace.metrics)
+        for rank in stream_trace.ranks:
+            skeleton.add_process(
+                stream_trace.process(rank).location, EventList.empty()
+            )
+        cursor = FeedCursor(skeleton)
+        for rank in stream_trace.ranks:
+            events = stream_trace.events_of(rank)
+            for i in range(0, len(events), 64):
+                cursor.push(rank, events[i : i + 64])
+        cursor.close()
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        fed = analyzer.consume(cursor)
+        assert fed == stream_trace.num_events
+        for rank in stream_trace.ranks:
+            np.testing.assert_array_equal(
+                analyzer.sos_series(rank), reference.sos_series(rank)
+            )
+
+    def test_index_cursor_equivalent(self, stream_trace, tmp_path):
+        from repro.core.streaming import STREAM_COLUMNS
+        from repro.trace import write_binary
+        from repro.trace.reader import TraceIndex
+
+        reference = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        feed_all(reference, stream_trace)
+
+        path = tmp_path / "run.rpt"
+        write_binary(stream_trace, path, version=2, codec="raw")
+        cursor = TraceIndex(path).cursor(
+            columns=STREAM_COLUMNS, chunk_events=128
+        )
+        analyzer = StreamingAnalyzer(
+            stream_trace.regions, stream_trace.num_processes,
+            dominant="iteration",
+        )
+        analyzer.consume(cursor)
+        for rank in stream_trace.ranks:
+            np.testing.assert_array_equal(
+                analyzer.sos_series(rank), reference.sos_series(rank)
+            )
+
+
+class TestMetricWindow:
+    def _metric_trace(self):
+        from repro.trace import Location, Trace
+        from repro.trace.events import EventKind, EventListBuilder
+
+        trace = Trace(name="metrics")
+        trace.regions.register("step")
+        trace.metrics.register("flops")
+        b = EventListBuilder()
+        for i in range(8):
+            b.append(float(i), EventKind.ENTER, ref=0)
+            b.metric(i + 0.25, metric=0, value=float(10 * i))
+            b.metric(i + 0.75, metric=0, value=float(10 * i + 2))
+            b.append(i + 0.9, EventKind.LEAVE, ref=0)
+        trace.add_process(Location(0, "P0"), b.freeze())
+        return trace
+
+    def test_binned_means(self):
+        trace = self._metric_trace()
+        analyzer = StreamingAnalyzer(
+            trace.regions, 1, dominant="step", metric_window=2.0
+        )
+        analyzer.feed(0, trace.events_of(0))
+        starts, means = analyzer.metric_series(0, 0)
+        np.testing.assert_array_equal(starts, [0.0, 2.0, 4.0, 6.0])
+        # Bin [0, 2): samples 0, 2, 10, 12 -> mean 6.
+        np.testing.assert_allclose(means[0], 6.0)
+
+    def test_chunking_invariant(self):
+        trace = self._metric_trace()
+        whole = StreamingAnalyzer(
+            trace.regions, 1, dominant="step", metric_window=2.0
+        )
+        whole.feed(0, trace.events_of(0))
+        chunked = StreamingAnalyzer(
+            trace.regions, 1, dominant="step", metric_window=2.0
+        )
+        events = trace.events_of(0)
+        for i in range(0, len(events), 3):
+            chunked.feed(0, events[i : i + 3])
+        for got, want in zip(
+            chunked.metric_series(0, 0), whole.metric_series(0, 0)
+        ):
+            np.testing.assert_array_equal(got, want)
+
+    def test_disabled_by_default(self):
+        trace = self._metric_trace()
+        analyzer = StreamingAnalyzer(trace.regions, 1, dominant="step")
+        analyzer.feed(0, trace.events_of(0))
+        starts, means = analyzer.metric_series(0, 0)
+        assert starts.size == 0 and means.size == 0
+
+    def test_invalid_window(self):
+        trace = self._metric_trace()
+        with pytest.raises(ValueError, match="metric_window"):
+            StreamingAnalyzer(trace.regions, 1, metric_window=0.0)
