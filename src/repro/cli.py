@@ -32,7 +32,14 @@ _WORKLOADS = (
     "wrf",
     "synthetic",
     "hybrid_openmp",
+    "idle_wave",
+    "late_sender",
+    "serialization",
 )
+
+#: Phenomenon workloads whose generators take ``ranks=`` (not ``processes=``)
+#: and no seed — the simulation is deterministic by construction.
+_PHENOMENON_WORKLOADS = ("idle_wave", "late_sender", "serialization")
 
 #: Exit code for unusable input paths / malformed traces (sysexits-ish).
 EXIT_BAD_INPUT = 2
@@ -379,6 +386,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     st.add_argument("trace")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the analysis engines with random scenarios",
+        description=(
+            "Generate seeded random simulation scenarios and run each "
+            "through the differential oracle: fused, legacy and "
+            "incremental engines, shard counts, chunk sizes and both "
+            ".rpt container versions must agree bitwise.  Failures are "
+            "minimized and written as self-contained repro scripts."
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed; run N uses seed+N (default 0)")
+    fuzz.add_argument("--runs", type=int, default=10,
+                      help="number of scenarios to run (default 10)")
+    fuzz.add_argument("--minimize", dest="minimize", action="store_true",
+                      default=True,
+                      help="shrink failing scenarios (default)")
+    fuzz.add_argument("--no-minimize", dest="minimize",
+                      action="store_false",
+                      help="keep failing scenarios at their sampled size")
+    fuzz.add_argument("--corpus-dir", default=None,
+                      help="directory for repro artifacts on failure")
+
     for sp in sub.choices.values():
         _add_verbosity_args(sp)
     return parser
@@ -461,6 +492,18 @@ def _cmd_simulate(args) -> int:
         if args.seed is not None:
             cfg_kwargs["seed"] = args.seed
         trace = hybrid_openmp.generate(**cfg_kwargs)
+    elif args.workload in _PHENOMENON_WORKLOADS:
+        if args.seed is not None:
+            raise CLIError(
+                f"--seed does not apply to {args.workload} "
+                "(the phenomenon is deterministic)"
+            )
+        cfg_kwargs = {}
+        if args.processes is not None:
+            cfg_kwargs["ranks"] = args.processes
+        if args.iterations is not None:
+            cfg_kwargs["iterations"] = args.iterations
+        trace = module.generate(**cfg_kwargs)
     elif args.workload == "synthetic":
         from .sim.workloads.synthetic import SyntheticConfig
 
@@ -887,6 +930,25 @@ def _emit_telemetry(args, col) -> None:
         print(obs.summarize(col).format())
 
 
+def _cmd_fuzz(args) -> int:
+    from .sim.fuzz import fuzz_run
+
+    if args.runs < 1:
+        raise CLIError("--runs must be at least 1")
+    reports = fuzz_run(
+        seed=args.seed,
+        runs=args.runs,
+        minimize_failures=args.minimize,
+        corpus_dir=args.corpus_dir,
+    )
+    failed = [r for r in reports if not r.ok]
+    print(
+        f"fuzz: {len(reports) - len(failed)}/{len(reports)} scenarios OK "
+        f"(seeds {args.seed}..{args.seed + args.runs - 1})"
+    )
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -902,6 +964,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "monitor": _cmd_monitor,
     "stats": _cmd_stats,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -7,9 +7,12 @@ from .network import NetworkModel
 from .noise import (
     CompositeNoise,
     GaussianJitter,
+    ImbalanceRamp,
     NoNoise,
+    NoiseBursts,
     NoiseModel,
     ScheduledInterruptions,
+    Straggler,
 )
 from .program import grid_coords, grid_rank, halo_exchange, neighbors_2d
 
@@ -20,13 +23,16 @@ __all__ = [
     "DeadlockError",
     "FPU_EXCEPTIONS",
     "GaussianJitter",
+    "ImbalanceRamp",
     "NetworkModel",
     "NoNoise",
+    "NoiseBursts",
     "NoiseModel",
     "PAPI_TOT_CYC",
     "ScheduledInterruptions",
     "SimResult",
     "Simulator",
+    "Straggler",
     "grid_coords",
     "grid_rank",
     "halo_exchange",

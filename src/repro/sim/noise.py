@@ -23,6 +23,9 @@ __all__ = [
     "NoNoise",
     "GaussianJitter",
     "ScheduledInterruptions",
+    "NoiseBursts",
+    "ImbalanceRamp",
+    "Straggler",
     "CompositeNoise",
 ]
 
@@ -91,6 +94,86 @@ class ScheduledInterruptions(NoiseModel):
             if ev_rank == rank and t0 <= t_start < t1:
                 total += duration
         return total
+
+
+@dataclass(frozen=True)
+class NoiseBursts(NoiseModel):
+    """Periodic system-noise bursts on a subset of ranks.
+
+    Every ``period`` seconds a daemon-like burst preempts the listed
+    ranks for ``duration`` seconds: a computation *starting* inside
+    ``[k * period + phase, k * period + phase + window)`` receives the
+    full ``duration`` of interruption.  A single early burst on one
+    rank of a nearest-neighbour workload is the canonical trigger of
+    an idle wave (Afzal et al.): the delay propagates through the
+    communication dependencies one neighbour per iteration.
+
+    Fully deterministic from the dataclass fields — no hidden RNG —
+    so identical simulations yield identical traces.
+    """
+
+    ranks: tuple[int, ...] = ()
+    period: float = 1.0
+    duration: float = 0.01
+    #: Start of the first burst window.
+    phase: float = 0.0
+    #: Width of the susceptible window at the start of each period.
+    window: float = 0.05
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        if rank not in self.ranks or self.period <= 0.0:
+            return 0.0
+        offset = (t_start - self.phase) % self.period
+        if t_start >= self.phase and offset < self.window:
+            return self.duration
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ImbalanceRamp(NoiseModel):
+    """Load imbalance that grows linearly over virtual time.
+
+    The listed ranks are stretched by ``rate * min(t_start, t_cap)``
+    relative seconds per active second — at ``t_start`` seconds into
+    the run a computation of ``active`` seconds gains
+    ``rate * t_start * active`` extra wall time.  Models a slowly
+    developing imbalance (the COSMO-SPECS cloud-growth shape) as an
+    injection knob rather than a hand-crafted workload.
+    """
+
+    ranks: tuple[int, ...] = ()
+    rate: float = 0.1
+    #: Time after which the ramp saturates (``inf`` = never).
+    t_cap: float = float("inf")
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        if rank not in self.ranks or self.rate <= 0.0:
+            return 0.0
+        return self.rate * min(max(t_start, 0.0), self.t_cap) * active
+
+
+@dataclass(frozen=True)
+class Straggler(NoiseModel):
+    """Persistent multiplicative slowdown of selected ranks.
+
+    Each listed rank computes ``factor`` times slower for the whole
+    run: every computation of ``active`` seconds is stretched by
+    ``(factor - 1) * active`` wall seconds without counter progress —
+    the WRF case-study shape (one rank trapped in FPU microtraps),
+    available as a composable injection.
+    """
+
+    ranks: tuple[int, ...] = ()
+    factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+
+    def interruption(self, rank: int, t_start: float, active: float) -> float:
+        if rank not in self.ranks:
+            return 0.0
+        return (self.factor - 1.0) * active
 
 
 @dataclass(frozen=True)

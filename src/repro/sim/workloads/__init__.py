@@ -1,10 +1,13 @@
-"""Case-study and synthetic workloads for the MPI simulator."""
+"""Case-study, phenomenon and synthetic workloads for the MPI simulator."""
 
 from . import (
     base,
     cosmo_specs,
     cosmo_specs_fd4,
     hybrid_openmp,
+    idle_wave,
+    late_sender,
+    serialization,
     synthetic,
     wrf,
 )
@@ -14,6 +17,9 @@ __all__ = [
     "cosmo_specs",
     "cosmo_specs_fd4",
     "hybrid_openmp",
+    "idle_wave",
+    "late_sender",
+    "serialization",
     "synthetic",
     "wrf",
 ]

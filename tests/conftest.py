@@ -7,11 +7,34 @@ small hand-built traces instead.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.paper import figure1_trace, figure2_trace, figure3_trace
 from repro.trace.builder import TraceBuilder
 from repro.trace.definitions import Paradigm
+
+# Shared hypothesis settings profiles.  ``ci`` bounds example counts
+# and disables per-example deadlines (shared runners have noisy
+# clocks); ``dev`` is a fast local loop; ``thorough`` is for manual
+# deep runs.  Select with HYPOTHESIS_PROFILE=<name>; per-test
+# @settings(...) decorators still override profile values.
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        max_examples=25,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=10, deadline=None)
+    settings.register_profile("thorough", max_examples=400, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
 
 
 def pytest_addoption(parser):

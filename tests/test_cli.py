@@ -398,6 +398,38 @@ class TestMonitor:
         assert main(["monitor", str(tmp_path / "mon.rpt"), "--follow"]) == 2
         assert "jsonl" in capsys.readouterr().err
 
+    def test_follow_idle_timeout_ends_without_sentinel(
+        self, monitor_trace, tmp_path, capsys
+    ):
+        # A writer that dies without the end sentinel: the idle timeout
+        # must end the follow cleanly with everything streamed so far.
+        from repro.trace import write_jsonl
+
+        live = tmp_path / "live.jsonl"
+        write_jsonl(monitor_trace, live)  # complete data, no sentinel
+        assert main(["monitor", str(live), "--function", "iteration",
+                     "--follow", "--idle-timeout", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert f"streamed {monitor_trace.num_events} events" in out
+        assert "ALERT rank 2 segment 8" in out
+
+    def test_follow_idle_timeout_with_torn_tail_record(
+        self, monitor_trace, tmp_path, capsys
+    ):
+        # Writer killed mid-record: the torn line is ignored, the
+        # complete prefix is analyzed.
+        from repro.trace import write_jsonl
+
+        full = tmp_path / "full.jsonl"
+        write_jsonl(monitor_trace, full)
+        text = full.read_text()
+        live = tmp_path / "live.jsonl"
+        live.write_text(text + text.splitlines()[-1][:37])
+        assert main(["monitor", str(live), "--function", "iteration",
+                     "--follow", "--idle-timeout", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert f"streamed {monitor_trace.num_events} events" in out
+
     def test_bad_chunk_events(self, trace_path, capsys):
         assert main(["monitor", str(trace_path), "--chunk-events", "0"]) == 2
         assert "chunk-events" in capsys.readouterr().err

@@ -339,3 +339,114 @@ def _skeleton(trace):
     for rank in trace.ranks:
         skeleton.add_process(trace.process(rank).location, EventList.empty())
     return skeleton
+
+
+def _skeleton_donor():
+    """Any tiny trace; only its header line is used."""
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+    return generate(SyntheticConfig(ranks=2, iterations=2, seed=1))
+
+
+class TestLiveStreamEdgeCases:
+    """The monitor's failure modes: idle writers and torn records.
+
+    ``repro monitor --follow`` rides on these cursors; a writer that
+    dies mid-record (pipe) or simply stops (idle tail) must end the
+    stream deterministically, never hang and never parse torn data.
+    """
+
+    def test_tail_idle_expiry_ignores_trailing_partial_line(
+        self, trace, tmp_path
+    ):
+        # A writer killed mid-record leaves an unterminated last line;
+        # the idle timeout must end the stream with only the complete
+        # records parsed (the torn bytes stay in the buffer forever).
+        full = tmp_path / "full.jsonl"
+        write_jsonl(trace, full)
+        lines = full.read_text().splitlines(keepends=True)
+        live = tmp_path / "live.jsonl"
+        extra = lines[-1]
+        live.write_text("".join(lines) + extra[: len(extra) // 2])
+        cursor = TailCursor(live, poll_interval=0.001, idle_timeout=0.05)
+        joined, finals = _reassemble(cursor)
+        assert finals == {rank: 1 for rank in trace.ranks}
+        for rank in trace.ranks:
+            np.testing.assert_array_equal(
+                joined[rank]["time"], trace.events_of(rank).time
+            )
+
+    def test_tail_wait_definitions_idle_expiry_freezes_skeleton(
+        self, tmp_path
+    ):
+        # Only a header, then silence: with an idle timeout the wait
+        # must end with a frozen (empty) skeleton instead of raising.
+        full = tmp_path / "full.jsonl"
+        write_jsonl(_skeleton_donor(), full)
+        header = full.read_text().splitlines(keepends=True)[0]
+        live = tmp_path / "header-only.jsonl"
+        live.write_text(header)
+        cursor = TailCursor(live, poll_interval=0.001, idle_timeout=0.05)
+        defs = cursor.wait_definitions(timeout=5.0)
+        assert defs.ranks == []
+
+    def test_tail_idle_expiry_mid_stream_closes_all_ranks(
+        self, trace, tmp_path
+    ):
+        # Writer stops after the first rank's events: the idle expiry
+        # must still announce every *defined* rank as final so the
+        # consumer can finalize.
+        full = tmp_path / "full.jsonl"
+        write_jsonl(trace, full)
+        lines = full.read_text().splitlines(keepends=True)
+        first_events = next(
+            i for i, ln in enumerate(lines) if '"events"' in ln
+        )
+        live = tmp_path / "live.jsonl"
+        live.write_text("".join(lines[: first_events + 1]))
+        cursor = TailCursor(live, poll_interval=0.001, idle_timeout=0.05)
+        finals = {}
+        seen_events = {}
+        for batch in cursor:
+            seen_events[batch.rank] = (
+                seen_events.get(batch.rank, 0) + len(batch.events)
+            )
+            if batch.final:
+                finals[batch.rank] = finals.get(batch.rank, 0) + 1
+        assert finals == {rank: 1 for rank in trace.ranks}
+        assert sum(1 for n in seen_events.values() if n > 0) == 1
+
+    def test_stream_mid_record_eof_on_pipe_raises(self, trace, tmp_path):
+        # A pipe writer dying mid-record delivers a truncated final
+        # line (no terminator): readline returns it, and the parser
+        # must fail loudly instead of yielding a half-batch.
+        import os
+
+        full = tmp_path / "full.jsonl"
+        write_jsonl(trace, full)
+        text = full.read_text()
+        truncated = text[: text.rindex('"record"')]
+
+        read_fd, write_fd = os.pipe()
+        with open(write_fd, "w") as wf:
+            wf.write(truncated)
+        with open(read_fd, "r") as rf:
+            cursor = JsonlStreamCursor(rf)
+            with pytest.raises(TraceFormatError, match="corrupt record"):
+                for _ in cursor:
+                    pass
+
+    def test_stream_eof_without_sentinel_closes_all_ranks(
+        self, trace, tmp_path
+    ):
+        # Clean EOF (writer exited after its last full record, no end
+        # sentinel): every rank still gets its final batch.
+        full = tmp_path / "full.jsonl"
+        write_jsonl(trace, full)
+        cursor = JsonlStreamCursor(io.StringIO(full.read_text()))
+        joined, finals = _reassemble(cursor)
+        assert finals == {rank: 1 for rank in trace.ranks}
+        for rank in trace.ranks:
+            np.testing.assert_array_equal(
+                joined[rank]["time"], trace.events_of(rank).time
+            )

@@ -60,6 +60,7 @@ def _generators():
     # too degenerate for dominant-function selection, so the golden
     # set uses figure2/figure3 plus a hand-built minimal trace.
     from repro.paper import figure2_trace, figure3_trace
+    from repro.sim.workloads import idle_wave, late_sender, serialization
     from repro.sim.workloads.synthetic import SyntheticConfig, generate
 
     return {
@@ -75,6 +76,17 @@ def _generators():
                 outliers={(2, 7): 0.05},
                 seed=3,
             )
+        ),
+        # Named phenomenon corpus (see docs/fuzzing.md): each locks the
+        # analysis of one textbook inefficiency pattern.
+        "idle_wave_small": lambda: idle_wave.generate(
+            ranks=8, iterations=12
+        ),
+        "late_sender_small": lambda: late_sender.generate(
+            ranks=6, iterations=12
+        ),
+        "serialization_small": lambda: serialization.generate(
+            ranks=6, iterations=10
         ),
     }
 
