@@ -1,0 +1,109 @@
+"""E18 — cross-rank happens-before analysis throughput.
+
+The TL3xx rules promise static cross-rank answers at lint speed, so
+this benchmark measures the full hb pass — per-rank match-record
+extraction, global message-match graph assembly and the five TL3xx
+rules — on the >= 500k-event synthetic trace the lint benchmark uses
+(halo exchanges + collectives every iteration, so the match graph is
+dense).
+
+Acceptance target: >= 5 Mevents/s for the complete pass.  The stages
+are also timed separately so a regression names its phase.
+
+Results land in ``benchmarks/results/E18_hb_throughput.txt`` and
+``BENCH_hb.json`` (canonical copy at the repo root).
+"""
+
+import time
+
+import pytest
+
+from repro.lint import LintConfig, lint_trace
+from repro.lint.hb import MatchGraph, match_records_for_trace
+
+TARGET_MEVENTS_S = 5.0
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    from repro.sim.workloads.synthetic import SyntheticConfig, generate
+
+    config = SyntheticConfig(
+        ranks=16,
+        iterations=1500,
+        base_compute=0.001,
+        slow_ranks={11: 1.3},
+        seed=11,
+    )
+    trace = generate(config)
+    total = sum(len(trace.events_of(r)) for r in trace.ranks)
+    assert total >= 500_000, f"only {total} events"
+    return trace, total
+
+
+def _timed(fn, repeats=3):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return value, best
+
+
+def test_hb_pass_throughput(big_trace, report, bench_meta):
+    trace, total = big_trace
+    hb_only = LintConfig(select=("TL3*",))
+
+    # Stage timings: extraction dominates (it reads every event);
+    # assembly and the rules run over a few entries per message.
+    (records, _shared), t_extract = _timed(
+        lambda: match_records_for_trace(trace)
+    )
+    graph, t_assemble = _timed(
+        lambda: MatchGraph.from_records(records, trace.num_processes)
+    )
+    assert graph.complete
+    assert graph.num_matched == graph.num_sends  # healthy workload
+
+    # Full pass, end to end (what `repro lint --select 'TL3*'` pays).
+    hb_report, t_full = _timed(lambda: lint_trace(trace, config=hb_only))
+    assert hb_report.ok, hb_report.to_text()
+
+    mevents = total / t_full / 1e6
+    bench_meta(
+        wall_s=t_full,
+        timer="best-of-3",
+        events=total,
+        sends=graph.num_sends,
+        recvs=graph.num_recvs,
+        matched=graph.num_matched,
+        extract_wall_s=t_extract,
+        assemble_wall_s=t_assemble,
+        mevents_per_s=mevents,
+    )
+
+    lines = [
+        f"trace: 16 ranks x 1500 iterations, {total} events",
+        f"match graph: {graph.num_sends} sends, {graph.num_recvs} recvs, "
+        f"{graph.num_matched} matched, "
+        f"{sum(len(r.coll_ref) for r in graph.records.values())} "
+        f"collective calls",
+        "",
+        f"{'stage':>28} | {'best of 3 (ms)':>14} | {'Mevents/s':>9}",
+        f"{'record extraction':>28} | {t_extract * 1e3:>14.1f} | "
+        f"{total / t_extract / 1e6:>9.2f}",
+        f"{'graph assembly':>28} | {t_assemble * 1e3:>14.1f} | "
+        f"{total / t_assemble / 1e6:>9.2f}",
+        f"{'full TL3xx pass':>28} | {t_full * 1e3:>14.1f} | "
+        f"{mevents:>9.2f}",
+        "",
+        f"hb pass throughput: {mevents:.2f} Mevents/s "
+        f"(target >= {TARGET_MEVENTS_S:.0f})",
+        "diagnostics: 0 (healthy workload is TL3xx-silent at this scale)",
+    ]
+    report("E18_hb_throughput", lines)
+    assert mevents >= TARGET_MEVENTS_S, (
+        f"hb pass at {mevents:.2f} Mevents/s "
+        f"(target {TARGET_MEVENTS_S} Mevents/s)"
+    )

@@ -409,6 +409,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keep failing scenarios at their sampled size")
     fuzz.add_argument("--corpus-dir", default=None,
                       help="directory for repro artifacts on failure")
+    fuzz.add_argument(
+        "--adversarial", action="store_true",
+        help="plant cross-rank defects (deadlock cycles, wildcard "
+             "races, dropped collectives, orphan sends, wait chains) "
+             "and assert the TL3xx checker flags each one while "
+             "staying silent on the healthy baseline")
+
+    deps = sub.add_parser(
+        "deps",
+        help="export the cross-rank message-match graph",
+        description=(
+            "Build the global message-match graph (matched sends/"
+            "receives and collective epochs) that backs the TL3xx "
+            "happens-before rules and export it as Graphviz DOT or "
+            "JSON.  Matching is static — the trace is never replayed."
+        ),
+    )
+    deps.add_argument("trace")
+    deps.add_argument("--format", dest="fmt", choices=("dot", "json"),
+                      default="dot",
+                      help="output format (default dot)")
+    deps.add_argument("-o", "--output", default=None,
+                      help="write the graph to this file instead of stdout")
+    _add_shard_args(deps)
+    _add_obs_args(deps)
 
     for sp in sub.choices.values():
         _add_verbosity_args(sp)
@@ -931,10 +956,19 @@ def _emit_telemetry(args, col) -> None:
 
 
 def _cmd_fuzz(args) -> int:
-    from .sim.fuzz import fuzz_run
+    from .sim.fuzz import adversarial_run, fuzz_run
 
     if args.runs < 1:
         raise CLIError("--runs must be at least 1")
+    if args.adversarial:
+        reports = adversarial_run(seed=args.seed, runs=args.runs)
+        failed = [r for r in reports if not r.ok]
+        print(
+            f"fuzz --adversarial: {len(reports) - len(failed)}/"
+            f"{len(reports)} scenarios OK "
+            f"(seeds {args.seed}..{args.seed + args.runs - 1})"
+        )
+        return 1 if failed else 0
     reports = fuzz_run(
         seed=args.seed,
         runs=args.runs,
@@ -947,6 +981,33 @@ def _cmd_fuzz(args) -> int:
         f"(seeds {args.seed}..{args.seed + args.runs - 1})"
     )
     return 1 if failed else 0
+
+
+def _cmd_deps(args) -> int:
+    from .lint import graph_to_dot, graph_to_json_dict, hb_graph_path
+    from .trace.reader import TraceFormatError
+
+    try:
+        graph = hb_graph_path(args.trace, **_shard_kwargs(args))
+    except FileNotFoundError:
+        raise CLIError(f"trace file not found: {args.trace}")
+    except IsADirectoryError:
+        raise CLIError(f"trace path is a directory: {args.trace}")
+    except (TraceFormatError, ValueError) as err:
+        raise CLIError(f"cannot read trace {args.trace}: {err}")
+    except OSError as err:
+        raise CLIError(f"cannot read trace {args.trace}: {err}")
+    if args.fmt == "json":
+        rendered = json.dumps(graph_to_json_dict(graph), indent=2)
+    else:
+        rendered = graph_to_dot(graph)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
 
 
 _COMMANDS = {
@@ -965,6 +1026,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "stats": _cmd_stats,
     "fuzz": _cmd_fuzz,
+    "deps": _cmd_deps,
 }
 
 

@@ -16,6 +16,11 @@ trace.  Rules span three categories:
     The paper's analysis preconditions: the ``2p`` dominant-function
     invocation floor (Section IV), sync-classifier coverage
     (Section V), aligned per-rank segment counts, clock skew.
+``hb`` (TL3xx)
+    Cross-rank happens-before analysis over the global message-match
+    graph (:mod:`repro.lint.hb`): potential deadlock cycles, wildcard
+    receive races, collective order divergence, orphan messages and
+    wait-chain root-cause attribution.  See ``docs/hb.md``.
 
 Quick start::
 
@@ -46,10 +51,22 @@ from .engine import (
     RankView,
     TraceView,
     finalize_report,
+    hb_graph_path,
+    hb_rules_enabled,
     lint_path,
     lint_trace,
     scan_rank,
     validate_config,
+)
+from .hb import (
+    HBView,
+    MatchGraph,
+    MatchRecords,
+    VectorClockEngine,
+    extract_match_records,
+    graph_to_dot,
+    graph_to_json_dict,
+    match_graph_for_trace,
 )
 from .model import Diagnostic, LintConfig, LintError, LintReport, Severity
 from .registry import (
@@ -86,4 +103,14 @@ __all__ = [
     "lint_path",
     "validate_config",
     "sarif_dict",
+    "HBView",
+    "MatchGraph",
+    "MatchRecords",
+    "VectorClockEngine",
+    "extract_match_records",
+    "match_graph_for_trace",
+    "graph_to_dot",
+    "graph_to_json_dict",
+    "hb_graph_path",
+    "hb_rules_enabled",
 ]

@@ -53,6 +53,8 @@ __all__ = [
     "validate_config",
     "LINT_COLUMNS",
     "lint_columns",
+    "hb_rules_enabled",
+    "hb_graph_path",
 ]
 
 #: Event columns the view construction and summaries read regardless of
@@ -65,16 +67,24 @@ LINT_COLUMNS = ("time", "kind", "ref", "partner")
 def lint_columns(config: LintConfig) -> tuple[str, ...]:
     """Minimal event-column set needed to run ``config``'s rules.
 
-    Union of the view baseline (:data:`LINT_COLUMNS`) and the enabled
-    rank-scope rules' declared extras, in canonical column order so the
-    projection is deterministic.
+    Union of the view baseline (:data:`LINT_COLUMNS`) and *every*
+    enabled rule's declared extras — not just the rank-scoped ones:
+    hb-scoped rules extract their match records inside the same worker
+    read, so restricting the union to one scope would silently hand
+    them placeholder columns.  Canonical column order keeps the
+    projection deterministic.
     """
     from ..trace.events import _FIELDS
 
     need = set(LINT_COLUMNS)
-    for rule in enabled_rules(config, scope="rank"):
+    for rule in enabled_rules(config):
         need.update(rule.columns)
     return tuple(f for f in _FIELDS if f in need)
+
+
+def hb_rules_enabled(config: LintConfig) -> bool:
+    """True when the config enables at least one hb-scoped rule."""
+    return any(True for _ in enabled_rules(config, scope="hb"))
 
 
 @dataclass(frozen=True)
@@ -364,16 +374,57 @@ def _trace_scope_diagnostics(
     return diags
 
 
+def _hb_scope_diagnostics(shared: LintShared, match_records) -> list[Diagnostic]:
+    """Assemble the global match graph and run the hb-scoped rules."""
+    from .hb import HBView, MatchGraph
+
+    graph = MatchGraph.from_records(match_records, shared.num_processes)
+    hbview = HBView(shared, graph)
+    diags: list[Diagnostic] = []
+    timed = obs.enabled()
+    for rule in enabled_rules(shared.config, scope="hb"):
+        t0 = time.perf_counter() if timed else 0.0
+        for finding in rule.check(hbview):
+            diags.append(_stamp(rule, shared.config, finding))
+        if timed:
+            obs.counter(f"lint.rule.{rule.code}.s").add(
+                time.perf_counter() - t0
+            )
+    return diags
+
+
 def finalize_report(
     shared: LintShared,
     rank_diags: Iterable[Diagnostic],
     summaries: dict[int, RankSummary],
     trace_name: str = "",
     source: str | None = None,
+    match_records=None,
 ) -> LintReport:
-    """Run trace-scoped rules and assemble the sorted report."""
+    """Run trace- and hb-scoped rules and assemble the sorted report.
+
+    ``match_records`` maps every rank to its
+    :class:`~repro.lint.hb.MatchRecords`.  When hb-scoped rules are
+    enabled it is *required*: raising here (instead of quietly running
+    the remaining rules) is what guarantees a cross-rank rule can
+    never under-report off a partial, per-shard view of the trace.
+    """
     diags = list(rank_diags)
     diags.extend(_trace_scope_diagnostics(shared, summaries))
+    if hb_rules_enabled(shared.config):
+        if match_records is None:
+            raise ValueError(
+                "hb-scope rules are enabled but no match records were "
+                "provided; cross-rank rules cannot run on a partial trace"
+            )
+        missing = sorted(set(summaries) - set(match_records))
+        if missing:
+            raise ValueError(
+                f"hb-scope rules are enabled but match records are missing "
+                f"for ranks {missing}; cross-rank rules cannot run on a "
+                f"partial trace"
+            )
+        diags.extend(_hb_scope_diagnostics(shared, match_records))
     diags.sort(key=lambda d: d.sort_key)
     return LintReport(
         diagnostics=tuple(diags),
@@ -414,14 +465,27 @@ def lint_trace(
         ranks if known_ranks is None else known_ranks,
         config,
     )
+    want_hb = hb_rules_enabled(config)
+    if want_hb:
+        from .hb import extract_match_records
+
     diags: list[Diagnostic] = []
     summaries: dict[int, RankSummary] = {}
+    records: dict[int, object] | None = {} if want_hb else None
     for rank in ranks:
-        rank_diags, summary = scan_rank(shared, rank, trace.events_of(rank))
+        view = RankView(shared, rank, trace.events_of(rank))
+        rank_diags, summary = scan_view(view)
         diags.extend(rank_diags)
         summaries[rank] = summary
+        if records is not None:
+            records[rank] = extract_match_records(view)
     return finalize_report(
-        shared, diags, summaries, trace_name=trace.name, source=source
+        shared,
+        diags,
+        summaries,
+        trace_name=trace.name,
+        source=source,
+        match_records=records,
     )
 
 
@@ -465,8 +529,19 @@ def _lint_shard_worker(payload: dict) -> dict:
 def _lint_shard_worker_impl(payload: dict) -> dict:
     from ..trace.reader import TraceIndex
 
+    records_only = payload.get("records_only", False)
+    want_hb = records_only or hb_rules_enabled(payload["config"])
+    if want_hb:
+        from .hb import HB_COLUMNS, extract_match_records
+
     index = TraceIndex(payload["path"])
-    sub = index.load(payload["ranks"], columns=lint_columns(payload["config"]))
+    columns = lint_columns(payload["config"])
+    if want_hb:
+        from ..trace.events import _FIELDS
+
+        need = set(columns) | set(HB_COLUMNS)
+        columns = tuple(f for f in _FIELDS if f in need)
+    sub = index.load(payload["ranks"], columns=columns)
     shared = LintShared.from_definitions(
         sub.regions,
         sub.metrics,
@@ -476,11 +551,19 @@ def _lint_shard_worker_impl(payload: dict) -> dict:
     )
     diags: list[Diagnostic] = []
     summaries: dict[int, RankSummary] = {}
+    records: dict[int, object] = {}
     for rank in sorted(payload["ranks"]):
-        rank_diags, summary = scan_rank(shared, rank, sub.events_of(rank))
-        diags.extend(rank_diags)
-        summaries[rank] = summary
-    return {"diags": diags, "summaries": summaries, "name": sub.name}
+        view = RankView(shared, rank, sub.events_of(rank))
+        if not records_only:
+            rank_diags, summary = scan_view(view)
+            diags.extend(rank_diags)
+            summaries[rank] = summary
+        if want_hb:
+            records[rank] = extract_match_records(view)
+    res = {"diags": diags, "summaries": summaries, "name": sub.name}
+    if want_hb:
+        res["records"] = records
+    return res
 
 
 def lint_path(
@@ -529,16 +612,78 @@ def lint_path(
         )
         diags: list[Diagnostic] = []
         summaries: dict[int, RankSummary] = {}
+        records: dict[int, object] | None = (
+            {} if hb_rules_enabled(config) else None
+        )
         name = ""
         for res in _run_shard_tasks(_lint_shard_worker, payloads, nworkers):
             _merge_worker_obs(res)
             diags.extend(res["diags"])
             summaries.update(res["summaries"])
+            if records is not None:
+                records.update(res.get("records", {}))
             name = res["name"] or name
         defs = index.definitions_trace()
         shared = LintShared.from_definitions(
             defs.regions, defs.metrics, len(counts), known, config
         )
         return finalize_report(
-            shared, diags, summaries, trace_name=defs.name, source=path
+            shared,
+            diags,
+            summaries,
+            trace_name=defs.name,
+            source=path,
+            match_records=records,
         )
+
+
+def hb_graph_path(
+    path: str | os.PathLike,
+    config: LintConfig | None = None,
+    shards: int | None = None,
+    max_memory_mb: float | None = None,
+    workers: int | None = None,
+):
+    """Build the global message-match graph from a trace file.
+
+    Backs ``repro deps``: runs the same sharded per-rank extraction as
+    :func:`lint_path` but skips rule scanning entirely — workers return
+    only :class:`~repro.lint.hb.MatchRecords` and the parent assembles
+    one :class:`~repro.lint.hb.MatchGraph`.
+    """
+    from ..core.shard import (
+        _merge_worker_obs,
+        _run_shard_tasks,
+        plan_shards,
+        shard_workers,
+    )
+    from ..trace.reader import TraceIndex
+    from .hb import MatchGraph
+
+    config = config if config is not None else LintConfig()
+    path = os.fspath(path)
+    with obs.span("lint.hb_graph"):
+        index = TraceIndex(path)
+        counts = index.event_counts()
+        plan = plan_shards(counts, shards=shards, max_memory_mb=max_memory_mb)
+        payloads = [
+            {
+                "path": path,
+                "ranks": tuple(group),
+                "known_ranks": plan.ranks,
+                "num_processes": len(counts),
+                "config": config,
+                "shard": shard,
+                "obs": obs.enabled(),
+                "records_only": True,
+            }
+            for shard, group in enumerate(plan.groups)
+        ]
+        nworkers = (
+            shard_workers(plan.num_shards) if workers is None else workers
+        )
+        records: dict[int, object] = {}
+        for res in _run_shard_tasks(_lint_shard_worker, payloads, nworkers):
+            _merge_worker_obs(res)
+            records.update(res.get("records", {}))
+        return MatchGraph.from_records(records, len(counts))

@@ -1,0 +1,820 @@
+"""Cross-rank happens-before analysis: the message-match graph.
+
+The TL3xx rule family answers *cross-rank* causality questions —
+deadlock cycles, wildcard-receive races, collective divergence, orphan
+messages, wait-chain origins — statically, without replaying the
+trace.  The machinery here is split to fit the sharded lint engine:
+
+1. :func:`extract_match_records` runs *per rank* (inside shard
+   workers, over lazily projected columns): it pulls every SEND/RECV
+   with its tag, payload size and innermost enclosing region, plus the
+   rank's collective-invocation sequence, into a few flat NumPy arrays
+   (:class:`MatchRecords`, picklable, a few bytes per message).
+2. :meth:`MatchGraph.from_records` runs once in the parent: it merges
+   the per-rank records and matches point-to-point messages by
+   ``(src, dst, tag)`` queue order — the k-th send on a channel pairs
+   with the k-th receive, exactly MPI's non-overtaking rule — and
+   aligns collectives by per-communicator epoch index.  The trace has
+   a single global communicator (the event model carries no ``comm``
+   column), so epoch k is simply each rank's k-th collective call.
+3. :class:`VectorClockEngine` sweeps the graph with per-rank vector
+   clocks when a rule needs true concurrency answers (today: wildcard
+   races).  It is built lazily — healthy traces contain no wildcard
+   receives and never pay for it.
+
+Because step 1 is strictly per-rank, the records are identical no
+matter how ranks are grouped into shards, and the global pass in step
+2 sees the complete trace — cross-rank rules can never silently run on
+a partial view (the engine refuses to finalize hb rules without
+records).
+
+The graph also powers ``repro deps``: :func:`graph_to_dot` /
+:func:`graph_to_json_dict` export the aggregated communication
+topology for external viewers (ROADMAP item 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
+
+from ..trace.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import LintShared, RankView
+
+__all__ = [
+    "COLLECTIVE_NAMES",
+    "HB_COLUMNS",
+    "MatchRecords",
+    "MatchGraph",
+    "HBView",
+    "VectorClockEngine",
+    "collective_region_mask",
+    "extract_match_records",
+    "match_records_for_trace",
+    "match_graph_for_trace",
+    "graph_to_dot",
+    "graph_to_json_dict",
+]
+
+#: MPI operations with collective semantics: every rank of the
+#: communicator must participate, in the same order.  (Shared with the
+#: TL102 per-count check in :mod:`repro.lint.rules_semantic`.)
+COLLECTIVE_NAMES = frozenset(
+    {
+        "MPI_Barrier",
+        "MPI_Allreduce",
+        "MPI_Reduce",
+        "MPI_Bcast",
+        "MPI_Alltoall",
+        "MPI_Alltoallv",
+        "MPI_Allgather",
+        "MPI_Allgatherv",
+        "MPI_Gather",
+        "MPI_Scatter",
+        "MPI_Win_fence",
+    }
+)
+
+#: Event columns match-record extraction reads beyond the engine's
+#: view baseline (time/kind/ref/partner).
+HB_COLUMNS = ("size", "tag")
+
+_I32 = np.int32
+_I64 = np.int64
+_F64 = np.float64
+
+
+def collective_region_mask(shared: "LintShared") -> np.ndarray:
+    """Boolean per-region mask of MPI-paradigm collective operations."""
+    from ..trace.definitions import Paradigm
+
+    if shared.num_regions == 0:
+        return np.zeros(0, dtype=bool)
+    named = np.fromiter(
+        (name in COLLECTIVE_NAMES for name in shared.region_names),
+        dtype=bool,
+        count=shared.num_regions,
+    )
+    return named & (shared.region_paradigm == np.int8(int(Paradigm.MPI)))
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: per-rank extraction (runs inside shard workers)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchRecords:
+    """One rank's message-relevant events, flattened (picklable).
+
+    ``ok`` is False when the stream was unsorted or unbalanced —
+    extraction is skipped there (the structural TL0xx rules already
+    reject such streams) and the assembled graph is marked incomplete,
+    which mutes every TL3xx rule rather than reporting phantom orphans.
+    """
+
+    rank: int
+    n_events: int
+    ok: bool
+    t_first: float
+    t_last: float
+    #: SEND events, in stream order
+    send_dst: np.ndarray  # int32
+    send_tag: np.ndarray  # int32
+    send_pos: np.ndarray  # int64 absolute event index
+    send_time: np.ndarray  # float64
+    send_size: np.ndarray  # int64
+    send_region: np.ndarray  # int32 innermost enclosing region (-1 none)
+    #: RECV events, in stream order (src == -1 is a wildcard receive)
+    recv_src: np.ndarray  # int32
+    recv_tag: np.ndarray  # int32
+    recv_pos: np.ndarray  # int64
+    recv_time: np.ndarray  # float64
+    recv_region: np.ndarray  # int32
+    recv_wait: np.ndarray  # float64 recv_time - enclosing enter time
+    #: collective invocations, in stream order
+    coll_ref: np.ndarray  # int32 region id
+    coll_pos: np.ndarray  # int64 absolute index of the ENTER
+    coll_enter: np.ndarray  # float64
+    coll_leave: np.ndarray  # float64
+
+    @classmethod
+    def empty(cls, rank: int, n_events: int = 0, ok: bool = True,
+              t_first: float = 0.0, t_last: float = 0.0) -> "MatchRecords":
+        z32 = np.empty(0, dtype=_I32)
+        z64 = np.empty(0, dtype=_I64)
+        zf = np.empty(0, dtype=_F64)
+        return cls(
+            rank=rank, n_events=n_events, ok=ok,
+            t_first=t_first, t_last=t_last,
+            send_dst=z32, send_tag=z32, send_pos=z64, send_time=zf,
+            send_size=z64, send_region=z32,
+            recv_src=z32, recv_tag=z32, recv_pos=z64, recv_time=zf,
+            recv_region=z32, recv_wait=zf,
+            coll_ref=z32, coll_pos=z64, coll_enter=zf, coll_leave=zf,
+        )
+
+
+def _enclosing_frames(
+    view: "RankView", pos: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Innermost open region (ref, enter time) for each event position.
+
+    Vectorised over the view's depth profile: the frame open at depth
+    ``d`` when event ``p`` executes is the *last* ENTER at frame depth
+    ``d`` before ``p`` (any earlier same-depth frame must have closed
+    for the depth to return to ``d``).  Loops only over the distinct
+    depths present among the queries — nesting is shallow in practice.
+    """
+    ev = view.events
+    n_q = len(pos)
+    region = np.full(n_q, -1, dtype=_I32)
+    t0 = float(ev.time[0]) if view.n else 0.0
+    enter_time = np.full(n_q, t0, dtype=_F64)
+    if not n_q or not view.balanced or not len(view.el_idx):
+        return region, enter_time
+    # j = number of enter/leave events strictly before each query.
+    j = np.searchsorted(view.el_idx, pos, side="left")
+    depth_at = np.where(j > 0, view.depth_after[np.maximum(j - 1, 0)], 0)
+    enter_sel = np.flatnonzero(view.enter_mask[view.el_idx])
+    enter_depth = view.depth_after[enter_sel]
+    for d in np.unique(depth_at[depth_at > 0]).tolist():
+        cand = enter_sel[enter_depth == d]
+        q = np.flatnonzero(depth_at == d)
+        k = np.searchsorted(cand, j[q], side="left") - 1
+        valid = k >= 0
+        qi = q[valid]
+        abs_enter = view.el_idx[cand[k[valid]]]
+        region[qi] = ev.ref[abs_enter]
+        enter_time[qi] = ev.time[abs_enter]
+    return region, enter_time
+
+
+def extract_match_records(view: "RankView") -> MatchRecords:
+    """Pull one rank's match records out of an existing lint view.
+
+    Reads ``time``/``kind``/``ref``/``partner`` plus the extra
+    :data:`HB_COLUMNS`; runs inside shard workers on projected reads.
+    """
+    ev = view.events
+    rank = view.rank
+    if view.n == 0:
+        return MatchRecords.empty(rank, 0, ok=True)
+    t_first = float(ev.time[0])
+    t_last = float(ev.time[-1])
+    # A stream without any enter/leave events is trivially balanced
+    # (the view only computes ``balanced`` when el_idx is non-empty).
+    if not view.sorted or (len(view.el_idx) and not view.balanced):
+        return MatchRecords.empty(
+            rank, view.n, ok=False, t_first=t_first, t_last=t_last
+        )
+    kind = ev.kind
+    send_pos = np.flatnonzero(kind == np.uint8(EventKind.SEND))
+    recv_pos = np.flatnonzero(kind == np.uint8(EventKind.RECV))
+    p2p_pos = np.concatenate([send_pos, recv_pos])
+    enc_region, enc_enter = _enclosing_frames(view, p2p_pos)
+    ns = len(send_pos)
+
+    # Collective invocations, in program (enter) order.
+    nr = view.shared.num_regions
+    coll_mask = collective_region_mask(view.shared)
+    if len(view.inv_region) and nr:
+        sel = view.inv_valid & coll_mask[np.clip(view.inv_region, 0, nr - 1)]
+        idx = np.flatnonzero(sel)
+        idx = idx[np.argsort(view.inv_enter_index[idx], kind="stable")]
+        coll_pos = view.inv_enter_index[idx].astype(_I64)
+        coll_ref = view.inv_region[idx].astype(_I32)
+        coll_enter = ev.time[coll_pos].astype(_F64)
+        coll_leave = ev.time[view.inv_leave_index[idx]].astype(_F64)
+    else:
+        coll_pos = np.empty(0, dtype=_I64)
+        coll_ref = np.empty(0, dtype=_I32)
+        coll_enter = np.empty(0, dtype=_F64)
+        coll_leave = np.empty(0, dtype=_F64)
+
+    return MatchRecords(
+        rank=rank,
+        n_events=view.n,
+        ok=True,
+        t_first=t_first,
+        t_last=t_last,
+        send_dst=ev.partner[send_pos].astype(_I32),
+        send_tag=ev.tag[send_pos].astype(_I32),
+        send_pos=send_pos.astype(_I64),
+        send_time=ev.time[send_pos].astype(_F64),
+        send_size=ev.size[send_pos].astype(_I64),
+        send_region=enc_region[:ns],
+        recv_src=ev.partner[recv_pos].astype(_I32),
+        recv_tag=ev.tag[recv_pos].astype(_I32),
+        recv_pos=recv_pos.astype(_I64),
+        recv_time=ev.time[recv_pos].astype(_F64),
+        recv_region=enc_region[ns:],
+        recv_wait=np.maximum(
+            ev.time[recv_pos].astype(_F64) - enc_enter[ns:], 0.0
+        ),
+        coll_ref=coll_ref,
+        coll_pos=coll_pos,
+        coll_enter=coll_enter,
+        coll_leave=coll_leave,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: global graph assembly (runs once in the parent)
+# ---------------------------------------------------------------------------
+
+
+def _group_ids(*cols: np.ndarray) -> np.ndarray:
+    """Dense group id per row for the tuple key formed by ``cols``."""
+    n = len(cols[0])
+    if n == 0:
+        return np.empty(0, dtype=_I64)
+    stacked = np.stack([np.asarray(c, dtype=_I64) for c in cols])
+    order = np.lexsort(stacked[::-1])
+    srt = stacked[:, order]
+    new = np.empty(n, dtype=_I64)
+    new[0] = 0
+    if n > 1:
+        new[1:] = np.any(srt[:, 1:] != srt[:, :-1], axis=0)
+    gid = np.empty(n, dtype=_I64)
+    # new[0] == 0, so the running sum is already a 0-based dense id.
+    gid[order] = np.cumsum(new)
+    return gid
+
+
+def _cumcount(gid: np.ndarray) -> np.ndarray:
+    """Occurrence index of each row within its group, in row order."""
+    n = len(gid)
+    if n == 0:
+        return np.empty(0, dtype=_I64)
+    order = np.argsort(gid, kind="stable")
+    srt = gid[order]
+    boundaries = np.flatnonzero(np.diff(srt)) + 1
+    starts = np.concatenate([[0], boundaries])
+    lengths = np.diff(np.concatenate([starts, [n]]))
+    within = np.arange(n, dtype=_I64) - np.repeat(starts, lengths)
+    out = np.empty(n, dtype=_I64)
+    out[order] = within
+    return out
+
+
+@dataclass
+class MatchGraph:
+    """Global message-match graph over all ranks' records.
+
+    Flattened send/recv arrays (rank-major, stream order within each
+    rank) plus the match relation: ``s_match[i]`` is the recv row the
+    i-th send pairs with (-1 unmatched) and vice versa.  Collective
+    sequences stay per rank in ``records``.
+    """
+
+    ranks: tuple[int, ...]
+    num_processes: int
+    complete: bool
+    t_min: float
+    t_max: float
+    records: dict[int, MatchRecords]
+    # sends (flattened)
+    s_rank: np.ndarray
+    s_dst: np.ndarray
+    s_tag: np.ndarray
+    s_pos: np.ndarray
+    s_time: np.ndarray
+    s_size: np.ndarray
+    s_region: np.ndarray
+    # recvs (flattened)
+    r_rank: np.ndarray
+    r_src: np.ndarray
+    r_tag: np.ndarray
+    r_pos: np.ndarray
+    r_time: np.ndarray
+    r_region: np.ndarray
+    r_wait: np.ndarray
+    r_wildcard: np.ndarray  # bool: posted with MPI_ANY_SOURCE
+    # match relation
+    s_match: np.ndarray
+    r_match: np.ndarray
+
+    @property
+    def num_sends(self) -> int:
+        return len(self.s_rank)
+
+    @property
+    def num_recvs(self) -> int:
+        return len(self.r_rank)
+
+    @property
+    def num_matched(self) -> int:
+        return int(np.sum(self.s_match >= 0))
+
+    @property
+    def duration(self) -> float:
+        return max(self.t_max - self.t_min, 0.0)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Mapping[int, MatchRecords],
+        num_processes: int | None = None,
+    ) -> "MatchGraph":
+        ranks = tuple(sorted(records))
+        recs = [records[r] for r in ranks]
+        complete = all(rec.ok for rec in recs)
+        active = [rec for rec in recs if rec.n_events]
+        t_min = min((rec.t_first for rec in active), default=0.0)
+        t_max = max((rec.t_last for rec in active), default=0.0)
+
+        def cat(field: str, dtype) -> np.ndarray:
+            parts = [getattr(rec, field) for rec in recs]
+            if not parts:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        s_rank = np.concatenate(
+            [np.full(len(rec.send_dst), rec.rank, dtype=_I32) for rec in recs]
+        ) if recs else np.empty(0, dtype=_I32)
+        r_rank = np.concatenate(
+            [np.full(len(rec.recv_src), rec.rank, dtype=_I32) for rec in recs]
+        ) if recs else np.empty(0, dtype=_I32)
+
+        graph = cls(
+            ranks=ranks,
+            num_processes=(
+                num_processes if num_processes is not None else len(ranks)
+            ),
+            complete=complete,
+            t_min=float(t_min),
+            t_max=float(t_max),
+            records=dict(records),
+            s_rank=s_rank,
+            s_dst=cat("send_dst", _I32),
+            s_tag=cat("send_tag", _I32),
+            s_pos=cat("send_pos", _I64),
+            s_time=cat("send_time", _F64),
+            s_size=cat("send_size", _I64),
+            s_region=cat("send_region", _I32),
+            r_rank=r_rank,
+            r_src=cat("recv_src", _I32),
+            r_tag=cat("recv_tag", _I32),
+            r_pos=cat("recv_pos", _I64),
+            r_time=cat("recv_time", _F64),
+            r_region=cat("recv_region", _I32),
+            r_wait=cat("recv_wait", _F64),
+            r_wildcard=np.empty(0, dtype=bool),
+            s_match=np.empty(0, dtype=_I64),
+            r_match=np.empty(0, dtype=_I64),
+        )
+        graph.r_wildcard = graph.r_src < 0
+        graph._match()
+        return graph
+
+    def _match(self) -> None:
+        """FIFO-match sends to recvs per (src, dst, tag) channel."""
+        ns, nr = len(self.s_rank), len(self.r_rank)
+        self.s_match = np.full(ns, -1, dtype=_I64)
+        self.r_match = np.full(nr, -1, dtype=_I64)
+        if ns == 0 or nr == 0:
+            return
+        spec = np.flatnonzero(~self.r_wildcard)
+        # Joint channel factorization so send and recv rows of the same
+        # (src, dst, tag) triple land in the same group.
+        chan = _group_ids(
+            np.concatenate([self.s_rank[:ns], self.r_src[spec]]),
+            np.concatenate([self.s_dst[:ns], self.r_rank[spec]]),
+            np.concatenate([self.s_tag[:ns], self.r_tag[spec]]),
+        )
+        chan_s, chan_r = chan[:ns], chan[ns:]
+        # Rows are rank-major + stream-ordered, and every send (recv)
+        # of one channel lives on a single rank, so row order IS queue
+        # order: the occurrence index within each side is the FIFO
+        # sequence number, and the k-th send pairs with the k-th recv.
+        code_width = _I64(max(ns, nr) + 1)
+        code_s = chan_s * code_width + _cumcount(chan_s)
+        code_r = chan_r * code_width + _cumcount(chan_r)
+        _, si, ri = np.intersect1d(
+            code_s, code_r, assume_unique=True, return_indices=True
+        )
+        self.s_match[si] = spec[ri]
+        self.r_match[spec[ri]] = si
+
+        # Wildcard receives: drain the leftover sends to (dst, tag) in
+        # deterministic (time, src, pos) arrival order against the
+        # wildcard queue in stream order.  Wildcards are adversarial /
+        # debugging territory, so the per-queue Python loop is fine.
+        wild = np.flatnonzero(self.r_wildcard)
+        if not len(wild):
+            return
+        queues = sorted(
+            set(zip(self.r_rank[wild].tolist(), self.r_tag[wild].tolist()))
+        )
+        for dst, tag in queues:
+            w = wild[(self.r_rank[wild] == dst) & (self.r_tag[wild] == tag)]
+            cand = np.flatnonzero(
+                (self.s_match < 0) & (self.s_dst == dst) & (self.s_tag == tag)
+            )
+            order = np.lexsort(
+                (self.s_pos[cand], self.s_rank[cand], self.s_time[cand])
+            )
+            cand = cand[order]
+            k = min(len(w), len(cand))
+            self.s_match[cand[:k]] = w[:k]
+            self.r_match[w[:k]] = cand[:k]
+
+    # -- collective alignment -----------------------------------------
+
+    def collective_sequences(self) -> dict[int, np.ndarray]:
+        """Per-rank collective region-id sequences (active ranks only)."""
+        return {
+            rank: rec.coll_ref
+            for rank, rec in sorted(self.records.items())
+            if rec.n_events
+        }
+
+    def collective_epochs(self) -> int:
+        """Number of aligned collective epochs (the longest sequence)."""
+        seqs = self.collective_sequences()
+        return max((len(s) for s in seqs.values()), default=0)
+
+
+# ---------------------------------------------------------------------------
+# Vector-clock happens-before engine
+# ---------------------------------------------------------------------------
+
+
+class VectorClockEngine:
+    """Vector clocks over the match graph's cross-rank operations.
+
+    Ops are each rank's sends, matched receives and collective epochs
+    in program order.  The sweep is a worklist fixpoint: an op executes
+    once its program-order predecessor has, plus (receives) its matched
+    send and (collectives) every participant of the same epoch.  Ops
+    that can never become ready — the graph encodes a deadlock — are
+    finished in a deterministic degraded pass that ignores remote
+    dependencies, so queries still terminate on broken graphs.
+
+    Built lazily by :class:`HBView`: only wildcard-race queries need
+    it, and only traces that actually contain wildcard receives (or
+    ask via ``repro deps``) pay its O(ops × ranks) cost.
+    """
+
+    def __init__(self, graph: MatchGraph) -> None:
+        self.graph = graph
+        ranks = graph.ranks
+        self._rank_index = {rank: i for i, rank in enumerate(ranks)}
+        self._nr = len(ranks)
+        self.vc_send = np.zeros((graph.num_sends, self._nr), dtype=_I64)
+        self.vc_recv = np.zeros((graph.num_recvs, self._nr), dtype=_I64)
+        self._send_done = np.zeros(graph.num_sends, dtype=bool)
+        self._recv_done = np.zeros(graph.num_recvs, dtype=bool)
+        self._sweep()
+
+    def _rank_ops(self) -> dict[int, list[tuple[int, str, int]]]:
+        """Per-rank (pos, kind, index) op lists in program order."""
+        g = self.graph
+        ops: dict[int, list[tuple[int, str, int]]] = {
+            rank: [] for rank in g.ranks
+        }
+        for i in range(g.num_sends):
+            ops[int(g.s_rank[i])].append((int(g.s_pos[i]), "s", i))
+        for i in range(g.num_recvs):
+            ops[int(g.r_rank[i])].append((int(g.r_pos[i]), "r", i))
+        for rank, rec in g.records.items():
+            for k, pos in enumerate(rec.coll_pos.tolist()):
+                ops[rank].append((int(pos), "c", k))
+        for rank in ops:
+            ops[rank].sort()
+        return ops
+
+    def _sweep(self) -> None:
+        g = self.graph
+        nr = self._nr
+        if nr == 0:
+            return
+        ops = self._rank_ops()
+        epochs = g.collective_epochs()
+        epoch_members: list[list[int]] = [[] for _ in range(epochs)]
+        for rank, rec in g.records.items():
+            for k in range(len(rec.coll_pos)):
+                epoch_members[k].append(self._rank_index[rank])
+        vc_epoch = np.zeros((epochs, nr), dtype=_I64)
+        epoch_done = np.zeros(epochs, dtype=bool)
+        frontier = np.zeros((nr, nr), dtype=_I64)  # per-rank current VC
+        pointer = {rank: 0 for rank in g.ranks}
+        rank_list = list(g.ranks)
+
+        def run(ignore_remote: bool) -> bool:
+            progressed = False
+            for rank in rank_list:
+                ri = self._rank_index[rank]
+                seq = ops[rank]
+                while pointer[rank] < len(seq):
+                    _pos, kind, idx = seq[pointer[rank]]
+                    vc = frontier[ri]
+                    if kind == "s":
+                        vc = vc.copy()
+                        vc[ri] += 1
+                        self.vc_send[idx] = vc
+                        self._send_done[idx] = True
+                    elif kind == "r":
+                        m = int(g.r_match[idx])
+                        if m >= 0 and not self._send_done[m]:
+                            if not ignore_remote:
+                                break
+                            m = -1
+                        vc = vc.copy()
+                        if m >= 0:
+                            np.maximum(vc, self.vc_send[m], out=vc)
+                        vc[ri] += 1
+                        self.vc_recv[idx] = vc
+                        self._recv_done[idx] = True
+                    else:  # collective epoch
+                        members = epoch_members[idx]
+                        at_epoch = all(
+                            pointer[rank_list[m]] < len(ops[rank_list[m]])
+                            and ops[rank_list[m]][pointer[rank_list[m]]][1:]
+                            == ("c", idx)
+                            for m in members
+                        )
+                        if not epoch_done[idx]:
+                            if not at_epoch and not ignore_remote:
+                                break
+                            join = frontier[members].max(axis=0)
+                            join = join.copy()
+                            for m in members:
+                                join[m] += 1
+                            vc_epoch[idx] = join
+                            epoch_done[idx] = True
+                            if at_epoch:
+                                # Advance every member through the epoch.
+                                for m in members:
+                                    frontier[m] = vc_epoch[idx]
+                                    pointer[rank_list[m]] += 1
+                                progressed = True
+                                continue
+                        vc = np.maximum(frontier[ri], vc_epoch[idx])
+                    frontier[ri] = vc
+                    pointer[rank] += 1
+                    progressed = True
+            return progressed
+
+        while run(ignore_remote=False):
+            pass
+        # Deadlocked remainder: finish deterministically without the
+        # remote joins so queries over broken graphs still terminate.
+        while any(pointer[rank] < len(ops[rank]) for rank in rank_list):
+            if not run(ignore_remote=True):  # pragma: no cover - safety
+                break
+
+    def happens_before(self, vc_a: np.ndarray, vc_b: np.ndarray) -> bool:
+        """True when the op stamped ``vc_a`` causally precedes ``vc_b``."""
+        return bool(np.all(vc_a <= vc_b) and np.any(vc_a < vc_b))
+
+    def concurrent(self, vc_a: np.ndarray, vc_b: np.ndarray) -> bool:
+        return not self.happens_before(vc_a, vc_b) and not self.happens_before(
+            vc_b, vc_a
+        )
+
+
+class HBView:
+    """What an ``scope="hb"`` rule receives: shared context + graph."""
+
+    def __init__(self, shared: "LintShared", graph: MatchGraph) -> None:
+        self.shared = shared
+        self.graph = graph
+        self._engine: VectorClockEngine | None = None
+
+    @property
+    def engine(self) -> VectorClockEngine:
+        """The vector-clock engine, built on first use."""
+        if self._engine is None:
+            self._engine = VectorClockEngine(self.graph)
+        return self._engine
+
+    def region_name(self, ref: int) -> str:
+        if 0 <= ref < self.shared.num_regions:
+            return self.shared.region_names[ref]
+        return f"region#{ref}"
+
+
+# ---------------------------------------------------------------------------
+# Graph export (repro deps)
+# ---------------------------------------------------------------------------
+
+
+def _channel_rows(graph: MatchGraph) -> list[dict[str, Any]]:
+    """Aggregate the p2p sends into (src, dst, tag) channel rows."""
+    rows: list[dict[str, Any]] = []
+    ns = graph.num_sends
+    if ns:
+        chan = _group_ids(graph.s_rank, graph.s_dst, graph.s_tag)
+        for g in np.unique(chan).tolist():
+            sel = np.flatnonzero(chan == g)
+            matched = int(np.sum(graph.s_match[sel] >= 0))
+            rows.append(
+                {
+                    "src": int(graph.s_rank[sel[0]]),
+                    "dst": int(graph.s_dst[sel[0]]),
+                    "tag": int(graph.s_tag[sel[0]]),
+                    "sends": len(sel),
+                    "matched": matched,
+                    "orphan_sends": len(sel) - matched,
+                    "bytes": int(graph.s_size[sel].sum()),
+                }
+            )
+    # Receive-only channels (orphan recvs with no send at all).
+    nr = graph.num_recvs
+    if nr:
+        orphan = np.flatnonzero((graph.r_match < 0) & ~graph.r_wildcard)
+        if len(orphan):
+            chan = _group_ids(
+                graph.r_src[orphan], graph.r_rank[orphan], graph.r_tag[orphan]
+            )
+            seen = {(row["src"], row["dst"], row["tag"]) for row in rows}
+            for g in np.unique(chan).tolist():
+                sel = orphan[np.flatnonzero(chan == g)]
+                key = (
+                    int(graph.r_src[sel[0]]),
+                    int(graph.r_rank[sel[0]]),
+                    int(graph.r_tag[sel[0]]),
+                )
+                if key in seen:
+                    continue
+                rows.append(
+                    {
+                        "src": key[0],
+                        "dst": key[1],
+                        "tag": key[2],
+                        "sends": 0,
+                        "matched": 0,
+                        "orphan_sends": 0,
+                        "bytes": 0,
+                    }
+                )
+    rows.sort(key=lambda row: (row["src"], row["dst"], row["tag"]))
+    return rows
+
+
+def graph_to_json_dict(graph: MatchGraph) -> dict[str, Any]:
+    """Machine-readable export of the match graph (stable schema)."""
+    orphan_recvs: dict[tuple[int, int, int], int] = {}
+    for i in np.flatnonzero(graph.r_match < 0).tolist():
+        key = (
+            int(graph.r_src[i]),
+            int(graph.r_rank[i]),
+            int(graph.r_tag[i]),
+        )
+        orphan_recvs[key] = orphan_recvs.get(key, 0) + 1
+    channels = _channel_rows(graph)
+    for row in channels:
+        row["orphan_recvs"] = orphan_recvs.pop(
+            (row["src"], row["dst"], row["tag"]), 0
+        )
+    for (src, dst, tag), count in sorted(orphan_recvs.items()):
+        channels.append(
+            {
+                "src": src, "dst": dst, "tag": tag,
+                "sends": 0, "matched": 0, "orphan_sends": 0, "bytes": 0,
+                "orphan_recvs": count,
+            }
+        )
+    channels.sort(key=lambda row: (row["src"], row["dst"], row["tag"]))
+    wildcards = int(np.sum(graph.r_wildcard))
+    return {
+        "tool": "repro deps",
+        "complete": graph.complete,
+        "ranks": [
+            {
+                "rank": rank,
+                "events": rec.n_events,
+                "sends": len(rec.send_dst),
+                "recvs": len(rec.recv_src),
+                "collectives": len(rec.coll_ref),
+                "ok": rec.ok,
+            }
+            for rank, rec in sorted(graph.records.items())
+        ],
+        "channels": channels,
+        "collective_epochs": graph.collective_epochs(),
+        "summary": {
+            "sends": graph.num_sends,
+            "recvs": graph.num_recvs,
+            "matched": graph.num_matched,
+            "wildcard_recvs": wildcards,
+            "duration": graph.duration,
+        },
+    }
+
+
+def graph_to_dot(graph: MatchGraph) -> str:
+    """Graphviz DOT export: ranks as nodes, channels as edges."""
+    doc = graph_to_json_dict(graph)
+    lines = [
+        "digraph deps {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for row in doc["ranks"]:
+        style = "" if row["ok"] else ", style=dashed"
+        lines.append(
+            f'  r{row["rank"]} [label="rank {row["rank"]}\\n'
+            f'{row["events"]} events"{style}];'
+        )
+    for row in doc["channels"]:
+        orphans = row["orphan_sends"] + row["orphan_recvs"]
+        color = ', color="red"' if orphans else ""
+        lines.append(
+            f'  r{row["src"]} -> r{row["dst"]} '
+            f'[label="tag {row["tag"]}: {row["matched"]}/{row["sends"]}"'
+            f"{color}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def match_records_for_trace(
+    trace, config=None
+) -> tuple[dict[int, MatchRecords], "LintShared"]:
+    """Extract every rank's match records from an in-memory trace."""
+    from .engine import LintShared, RankView
+    from .model import LintConfig
+
+    config = config if config is not None else LintConfig()
+    shared = LintShared.from_definitions(
+        trace.regions, trace.metrics, trace.num_processes, trace.ranks, config
+    )
+    records = {
+        rank: extract_match_records(RankView(shared, rank, trace.events_of(rank)))
+        for rank in trace.ranks
+    }
+    return records, shared
+
+
+def match_graph_for_trace(trace, config=None) -> MatchGraph:
+    """Build the global match graph from an in-memory trace."""
+    records, shared = match_records_for_trace(trace, config)
+    return MatchGraph.from_records(records, shared.num_processes)
+
+
+def _iter_chain_parents(
+    recv_by_rank: dict[int, np.ndarray],
+    recv_pos_by_rank: dict[int, np.ndarray],
+    s_rank: Iterable[int],
+    s_pos: Iterable[int],
+) -> Iterable[int]:
+    """For each send, the latest qualifying waited recv before it (-1 none).
+
+    Helper for the TL305 wait-chain linker: ``recv_by_rank`` maps a
+    rank to the (chain-significant) recv row ids on that rank sorted by
+    position, ``recv_pos_by_rank`` to their positions.
+    """
+    for rank, pos in zip(s_rank, s_pos):
+        cand_pos = recv_pos_by_rank.get(int(rank))
+        if cand_pos is None or not len(cand_pos):
+            yield -1
+            continue
+        k = int(np.searchsorted(cand_pos, int(pos), side="left")) - 1
+        yield int(recv_by_rank[int(rank)][k]) if k >= 0 else -1

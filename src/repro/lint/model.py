@@ -140,6 +140,19 @@ class LintConfig:
     #: least ``zero_sync_min`` of them) have exactly zero duration
     zero_sync_fraction: float = 0.25
     zero_sync_min: int = 8
+    #: TL305 counts a receive as chain-significant when its blocked
+    #: time reaches this fraction of the trace duration
+    hb_wait_fraction: float = 0.05
+    #: TL305 reports a wait chain only when it spans at least this many
+    #: distinct ranks ...
+    hb_chain_min_ranks: int = 3
+    #: ... and its summed blocked time reaches this fraction of the
+    #: trace duration.  Blocked time sums across concurrently waiting
+    #: ranks, so values > 1 are meaningful; the default stays above
+    #: what the mild phenomenon corpus (idle_wave/late_sender) exhibits
+    #: and flags only chains that dominate the run.  Lower it (e.g. to
+    #: 0.5) to use TL305 as a general idle-wave detector.
+    hb_chain_wait_ratio: float = 2.0
     classifier: SyncClassifier = field(default_factory=default_classifier)
 
     def rule_enabled(self, code: str) -> bool:

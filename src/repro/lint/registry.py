@@ -13,6 +13,14 @@ a default severity and — crucially for the sharded engine — a *scope*:
     The rule sees the cross-rank picture: the merged per-rank
     summaries (:class:`~repro.lint.engine.RankSummary`).  Trace-scoped
     rules run once, in the parent, after the per-rank partials merged.
+``hb``
+    The rule sees the global message-match graph
+    (:class:`~repro.lint.hb.HBView`): per-rank match records are
+    extracted inside shard workers, assembled into one graph in the
+    parent, and the rule runs once over the complete cross-rank
+    happens-before structure.  The engine *refuses* to finalize a
+    report with hb rules enabled unless match records for every rank
+    are present — an hb rule can never silently see a partial trace.
 
 Help text is derived from the rule function's docstring; the first
 line becomes the SARIF ``shortDescription`` and the rule-catalog
@@ -59,8 +67,8 @@ class Rule:
 
     code: str
     name: str
-    category: str  # "structural" | "mpi" | "precondition"
-    scope: str  # "rank" | "trace"
+    category: str  # "structural" | "mpi" | "precondition" | "hb"
+    scope: str  # "rank" | "trace" | "hb"
     default_severity: Severity
     check: Callable[..., Iterable[Finding]]
     #: legacy ``validate_trace`` issue code this rule subsumes, if any
@@ -99,8 +107,10 @@ def register_rule(
     and of the form ``TL`` + digits so ``--select TL1*`` style
     patterns behave predictably.
     """
-    if scope not in ("rank", "trace"):
-        raise ValueError(f"rule scope must be 'rank' or 'trace', got {scope!r}")
+    if scope not in ("rank", "trace", "hb"):
+        raise ValueError(
+            f"rule scope must be 'rank', 'trace' or 'hb', got {scope!r}"
+        )
     if not (code.startswith("TL") and code[2:].isdigit()):
         raise ValueError(f"rule code must look like TL123, got {code!r}")
 
@@ -124,7 +134,7 @@ def register_rule(
 
 def _ensure_builtin_rules() -> None:
     # Importing the rule modules populates the registry exactly once.
-    from . import rules_semantic, rules_structural  # noqa: F401
+    from . import rules_hb, rules_semantic, rules_structural  # noqa: F401
 
 
 def all_rules() -> list[Rule]:

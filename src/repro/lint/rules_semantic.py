@@ -20,28 +20,11 @@ from typing import Iterator
 import numpy as np
 
 from ..trace.definitions import Paradigm, RegionRole
+from .hb import COLLECTIVE_NAMES as _COLLECTIVE_NAMES
 from .model import Severity
 from .registry import Finding, register_rule
 
 __all__: list[str] = []
-
-#: MPI operations with collective semantics: every rank of the
-#: communicator must participate the same number of times.
-_COLLECTIVE_NAMES = frozenset(
-    {
-        "MPI_Barrier",
-        "MPI_Allreduce",
-        "MPI_Reduce",
-        "MPI_Bcast",
-        "MPI_Alltoall",
-        "MPI_Alltoallv",
-        "MPI_Allgather",
-        "MPI_Allgatherv",
-        "MPI_Gather",
-        "MPI_Scatter",
-        "MPI_Win_fence",
-    }
-)
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..trace.events import EventKind
 from .model import Severity
 from .registry import Finding, register_rule
 
@@ -234,18 +235,25 @@ def bad_partner(view) -> Iterator[Finding]:
 
     Send/receive partners must resolve against the trace's rank set
     (the *global* set under sharding, so cross-shard messages are not
-    misflagged).
+    misflagged).  A partner of -1 on a RECV is the wildcard-receive
+    (``MPI_ANY_SOURCE``) convention and is legal — the TL302 race rule
+    analyzes those — but -1 on a SEND has no meaning and stays an
+    error.
     """
     ev = view.events
     if not np.any(view.p2p_mask):
         return
-    partners = ev.partner[view.p2p_mask]
+    recv_mask = ev.kind == np.uint8(EventKind.RECV)
+    checked = view.p2p_mask & ~(recv_mask & (ev.partner == -1))
+    if not np.any(checked):
+        return
+    partners = ev.partner[checked]
     known = view.shared.known_ranks
     unknown = sorted(
         int(p) for p in np.unique(partners) if int(p) not in known
     )
     if unknown:
-        bad = view.p2p_mask & np.isin(ev.partner, unknown)
+        bad = checked & np.isin(ev.partner, unknown)
         first = int(np.argmax(bad))
         yield Finding(
             f"messages reference unknown locations {unknown}",

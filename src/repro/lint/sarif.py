@@ -33,7 +33,7 @@ SARIF_SCHEMA = (
 )
 
 #: Tool version reported in the SARIF driver; bump on rule changes.
-TOOL_VERSION = "1.0.0"
+TOOL_VERSION = "1.1.0"
 
 
 def _rule_descriptor(rule) -> dict[str, Any]:

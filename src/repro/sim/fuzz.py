@@ -81,6 +81,13 @@ __all__ = [
     "minimize",
     "write_repro",
     "fuzz_run",
+    "ADVERSARY_KINDS",
+    "ADVERSARY_EXPECT",
+    "AdversarialScenario",
+    "generate_adversarial",
+    "build_adversarial_traces",
+    "run_adversarial_oracle",
+    "adversarial_run",
 ]
 
 #: Deadlock-free-by-construction communication patterns.
@@ -616,6 +623,25 @@ def _check_invariants(trace, tables, partials) -> list[OracleFailure]:
             "invariant/lint",
             f"{len(errors)} lint errors, first: {errors[0].message}",
         ))
+    # The generator is deadlock-free by construction, every send is
+    # received, and every rank calls the same collective sequence — so
+    # the cross-rank happens-before rules must never report a *defect*
+    # (warning or worse: TL301-TL304) on a generated trace.  TL305 is
+    # excluded on purpose: it is INFO-severity bottleneck *guidance*,
+    # and scenarios with planted stragglers/noise legitimately contain
+    # the wait chains it exists to attribute.
+    hb_defects = [
+        d for d in report.diagnostics
+        if d.code.startswith("TL3")
+        and d.severity.name.lower() in ("warning", "error")
+    ]
+    if hb_defects:
+        out.append(OracleFailure(
+            "invariant/hb",
+            f"{len(hb_defects)} happens-before defect(s) on a "
+            f"deadlock-free scenario, first: "
+            f"[{hb_defects[0].code}] {hb_defects[0].message}",
+        ))
     # Statistics-table consistency: partials merge to the aggregate,
     # and every aggregate row is internally coherent.
     stats = FunctionStatistics.from_partials(trace, partials)
@@ -1019,5 +1045,299 @@ def fuzz_run(
         if corpus_dir is not None and report.spec is not None:
             script = write_repro(report, corpus_dir)
             log(f"seed {spec.seed}: repro written to {script}")
+        reports.append(report)
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Adversarial mode: scenarios that DROP the deadlock-free guarantee
+# ---------------------------------------------------------------------------
+
+#: Defect kinds the adversarial generator plants, one per TL3xx rule.
+ADVERSARY_KINDS = (
+    "deadlock_cycle",
+    "wildcard_race",
+    "collective_drop",
+    "orphan_send",
+    "wait_chain",
+)
+
+#: The diagnostic each planted defect must provoke.
+ADVERSARY_EXPECT = {
+    "deadlock_cycle": "TL301",
+    "wildcard_race": "TL302",
+    "collective_drop": "TL303",
+    "orphan_send": "TL304",
+    "wait_chain": "TL305",
+}
+
+
+@dataclass(frozen=True)
+class AdversarialScenario:
+    """One planted-defect scenario: a healthy baseline plus a defect.
+
+    The baseline spec is injection-free so the full TL3xx family —
+    including the INFO-severity TL305 — is provably silent on it; the
+    defective trace is derived from the baseline by event mutation
+    (or, for ``wait_chain``, by re-simulating with an extreme
+    straggler), because the simulator itself would hang or crash on a
+    genuinely deadlocking program.
+    """
+
+    seed: int
+    kind: str
+    expected_code: str
+    spec: ScenarioSpec
+
+    def describe(self) -> str:
+        return (
+            f"kind={self.kind} expect={self.expected_code} "
+            f"{self.spec.describe()}"
+        )
+
+
+def generate_adversarial(seed: int) -> AdversarialScenario:
+    """Expand ``seed`` into an adversarial scenario, deterministically.
+
+    Kinds rotate with the seed, so any 5 consecutive seeds cover every
+    TL3xx rule; sizes are sampled within bounds that keep the planted
+    defect detectable.
+    """
+    kind = ADVERSARY_KINDS[seed % len(ADVERSARY_KINDS)]
+    rng = random.Random(seed * 0x51ED2705 + 13)
+    common = dict(
+        seed=seed,
+        iterations=rng.randint(3, 6),
+        base_compute=0.005,
+        msg_bytes=rng.choice((64, 1024)),
+        collective="none",
+    )
+    if kind == "deadlock_cycle":
+        spec = ScenarioSpec(pattern="pairs", ranks=rng.choice((4, 6, 8)),
+                            **common)
+    elif kind == "wildcard_race":
+        spec = ScenarioSpec(pattern="halo_ring", ranks=rng.randint(4, 8),
+                            **common)
+    elif kind == "collective_drop":
+        common["collective"] = "barrier"
+        spec = ScenarioSpec(pattern="none", ranks=rng.randint(3, 8),
+                            **common)
+    elif kind == "orphan_send":
+        spec = ScenarioSpec(pattern="chain", ranks=rng.randint(3, 8),
+                            **common)
+    else:  # wait_chain
+        spec = ScenarioSpec(pattern="chain", ranks=rng.randint(5, 8),
+                            **common)
+    return AdversarialScenario(
+        seed=seed, kind=kind, expected_code=ADVERSARY_EXPECT[kind], spec=spec
+    )
+
+
+def _mutate_events(trace, rank: int, fn):
+    """Rebuild ``trace`` with ``rank``'s event columns transformed.
+
+    ``fn`` receives a dict of writable column copies and returns the
+    (possibly length-changed) replacement dict.  Registries and
+    Location objects are shared with the source trace — only the one
+    EventList is rebuilt.
+    """
+    from ..trace.events import _FIELDS, EventList
+    from ..trace.trace import Trace
+
+    out = Trace(
+        trace.regions,
+        trace.metrics,
+        name=trace.name,
+        attributes=dict(trace.attributes),
+    )
+    for proc in trace.processes():
+        events = proc.events
+        if proc.rank == rank:
+            cols = {f: getattr(events, f).copy() for f in _FIELDS}
+            cols = fn(cols)
+            events = EventList(*(cols[f] for f in _FIELDS))
+        out.add_process(proc.location, events)
+    return out
+
+
+def _plant_deadlock_cycle(trace, spec: ScenarioSpec):
+    """Retag both pair partners' sends: each side's receive starves."""
+    from ..trace.events import EventKind
+
+    out = trace
+    for rank in (0, 1):
+        def retag(cols, _r=rank):
+            send = cols["kind"] == np.uint8(EventKind.SEND)
+            cols["tag"][send] = 9900
+            return cols
+
+        out = _mutate_events(out, rank, retag)
+    return out
+
+
+def _plant_wildcard_race(trace, spec: ScenarioSpec):
+    """Turn rank 0's receives into wildcards (MPI_ANY_SOURCE)."""
+    from ..trace.events import EventKind
+
+    def wildcard(cols):
+        recv = cols["kind"] == np.uint8(EventKind.RECV)
+        cols["partner"][recv] = -1
+        return cols
+
+    return _mutate_events(trace, 0, wildcard)
+
+
+def _plant_collective_drop(trace, spec: ScenarioSpec):
+    """Delete the last rank's first collective invocation entirely."""
+    from ..lint.hb import COLLECTIVE_NAMES
+    from ..trace.events import EventKind
+
+    rank = trace.ranks[-1]
+    coll_ids = {
+        r.id for r in trace.regions if r.name in COLLECTIVE_NAMES
+    }
+
+    def drop(cols):
+        enter = np.flatnonzero(
+            (cols["kind"] == np.uint8(EventKind.ENTER))
+            & np.isin(cols["ref"], list(coll_ids))
+        )
+        if not len(enter):
+            raise ValueError("scenario has no collective to drop")
+        i = int(enter[0])
+        leave = np.flatnonzero(
+            (cols["kind"] == np.uint8(EventKind.LEAVE))
+            & (cols["ref"] == cols["ref"][i])
+        )
+        j = int(leave[leave > i][0])
+        keep = np.ones(len(cols["time"]), dtype=bool)
+        keep[[i, j]] = False
+        return {f: arr[keep] for f, arr in cols.items()}
+
+    return _mutate_events(trace, rank, drop)
+
+
+def _plant_orphan_send(trace, spec: ScenarioSpec):
+    """Retag rank 0's first send: one orphan send, one starved recv."""
+    from ..trace.events import EventKind
+
+    def retag(cols):
+        send = np.flatnonzero(cols["kind"] == np.uint8(EventKind.SEND))
+        if not len(send):
+            raise ValueError("scenario has no send to orphan")
+        cols["tag"][int(send[0])] = 9900
+        return cols
+
+    return _mutate_events(trace, 0, retag)
+
+
+def _plant_wait_chain(trace, spec: ScenarioSpec):
+    """Re-simulate with one huge preemption at the chain's head.
+
+    A single long interruption on rank 0's first-iteration compute
+    stalls every downstream rank of the chain for its full length:
+    the chain's summed blocked time approaches ``(p - 1) ×`` the
+    interruption while the run only grows by one interruption — the
+    unambiguous, origin-attributable idle wave TL305 exists to name.
+    (A straggler injection cannot get there: slowing every iteration
+    stretches the denominator as fast as the waits.)
+    """
+    stall = 20.0 * spec.iterations  # in units of base_compute
+    slow = replace(
+        spec,
+        injections=(
+            InjectionSpec(
+                "interruption",
+                ranks=(0,),
+                magnitude=stall,
+                t0=0.0,
+                period=spec.base_compute,
+            ),
+        ),
+    )
+    return build_trace(slow)
+
+
+_PLANTERS = {
+    "deadlock_cycle": _plant_deadlock_cycle,
+    "wildcard_race": _plant_wildcard_race,
+    "collective_drop": _plant_collective_drop,
+    "orphan_send": _plant_orphan_send,
+    "wait_chain": _plant_wait_chain,
+}
+
+
+def build_adversarial_traces(scenario: AdversarialScenario):
+    """Return ``(healthy, defective)`` traces for one scenario."""
+    healthy = build_trace(scenario.spec)
+    defective = _PLANTERS[scenario.kind](healthy, scenario.spec)
+    return healthy, defective
+
+
+def run_adversarial_oracle(scenario: AdversarialScenario) -> OracleReport:
+    """Check the TL3xx detector against one planted defect.
+
+    Two assertions per scenario: the healthy baseline produces *zero*
+    TL3xx findings of any severity, and the defective twin produces at
+    least one finding with the planted kind's expected code.
+    """
+    from ..lint import lint_trace
+
+    report = OracleReport(spec=scenario.spec)
+    try:
+        healthy, defective = build_adversarial_traces(scenario)
+    except Exception as err:  # noqa: BLE001 - a crash IS the finding
+        detail = traceback.format_exception_only(type(err), err)[-1].strip()
+        report.cells += 1
+        report.failures.append(
+            OracleFailure("adversarial/crash", f"crash: {detail}")
+        )
+        return report
+
+    report.cells += 1
+    clean = [
+        d for d in lint_trace(healthy).diagnostics
+        if d.code.startswith("TL3")
+    ]
+    if clean:
+        report.failures.append(OracleFailure(
+            "adversarial/healthy",
+            f"{scenario.kind}: healthy baseline raised "
+            f"[{clean[0].code}] {clean[0].message}",
+        ))
+
+    report.cells += 1
+    found = {
+        d.code for d in lint_trace(defective).diagnostics
+        if d.code.startswith("TL3")
+    }
+    if scenario.expected_code not in found:
+        got = ", ".join(sorted(found)) or "nothing"
+        report.failures.append(OracleFailure(
+            "adversarial/missed",
+            f"{scenario.kind}: planted defect not flagged — expected "
+            f"{scenario.expected_code}, checker reported {got}",
+        ))
+    return report
+
+
+def adversarial_run(
+    seed: int = 0,
+    runs: int = 5,
+    log: Callable[[str], None] = print,
+) -> list[OracleReport]:
+    """Run ``runs`` adversarial scenarios from consecutive seeds.
+
+    With the default 5 runs every TL3xx rule is exercised once (kinds
+    rotate with the seed).  Returns per-scenario oracle reports.
+    """
+    reports: list[OracleReport] = []
+    for offset in range(runs):
+        scenario = generate_adversarial(seed + offset)
+        report = run_adversarial_oracle(scenario)
+        status = "ok" if report.ok else "FAIL"
+        log(f"seed {scenario.seed}: {scenario.describe()} -> {status}")
+        for failure in report.failures:
+            log(f"  {failure}")
         reports.append(report)
     return reports
