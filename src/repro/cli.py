@@ -35,11 +35,17 @@ _WORKLOADS = (
     "idle_wave",
     "late_sender",
     "serialization",
+    "congestion",
 )
 
 #: Phenomenon workloads whose generators take ``ranks=`` (not ``processes=``)
 #: and no seed — the simulation is deterministic by construction.
-_PHENOMENON_WORKLOADS = ("idle_wave", "late_sender", "serialization")
+_PHENOMENON_WORKLOADS = (
+    "idle_wave",
+    "late_sender",
+    "serialization",
+    "congestion",
+)
 
 #: Exit code for unusable input paths / malformed traces (sysexits-ish).
 EXIT_BAD_INPUT = 2
@@ -218,9 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("workload", choices=_WORKLOADS)
     sim.add_argument("-o", "--output", required=True,
                      help="output path (.rpt binary or .jsonl text)")
-    sim.add_argument("--processes", type=int, default=None)
+    sim.add_argument("--processes", "--ranks", dest="processes",
+                     type=int, default=None,
+                     help="rank count override (--ranks is an alias)")
     sim.add_argument("--iterations", type=int, default=None)
     sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument(
+        "--sink", choices=("columnar", "objects"), default=None,
+        help="trace emission path: columnar (vectorized, default) or "
+             "objects (legacy per-event builder)")
+    sim.add_argument(
+        "--out-version", type=int, choices=(1, 2), default=None,
+        help=".rpt format version to write (default: newest)")
+    sim.add_argument(
+        "--codec", action="append", default=None, metavar="[COLUMN=]CODEC",
+        help="v2 column codec: auto, raw or zlib; prefix with a column "
+             "name (e.g. time=raw) for per-column control (repeatable)")
 
     ana = sub.add_parser("analyze", help="run the variation analysis")
     ana.add_argument("trace")
@@ -496,7 +515,10 @@ def _parse_codec_args(specs):
 
 
 def _cmd_simulate(args) -> int:
+    import contextlib
+
     from .sim import workloads
+    from .sim.engine import use_sink
 
     module = getattr(workloads, args.workload)
     kwargs = {}
@@ -506,43 +528,48 @@ def _cmd_simulate(args) -> int:
         kwargs["iterations"] = args.iterations
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    if args.workload == "hybrid_openmp":
-        from .sim.workloads import hybrid_openmp
+    sink_ctx = (
+        use_sink(args.sink) if args.sink else contextlib.nullcontext()
+    )
+    with sink_ctx:
+        if args.workload == "hybrid_openmp":
+            from .sim.workloads import hybrid_openmp
 
-        cfg_kwargs = {}
-        if args.processes is not None:
-            cfg_kwargs["ranks"] = args.processes
-        if args.iterations is not None:
-            cfg_kwargs["iterations"] = args.iterations
-        if args.seed is not None:
-            cfg_kwargs["seed"] = args.seed
-        trace = hybrid_openmp.generate(**cfg_kwargs)
-    elif args.workload in _PHENOMENON_WORKLOADS:
-        if args.seed is not None:
-            raise CLIError(
-                f"--seed does not apply to {args.workload} "
-                "(the phenomenon is deterministic)"
-            )
-        cfg_kwargs = {}
-        if args.processes is not None:
-            cfg_kwargs["ranks"] = args.processes
-        if args.iterations is not None:
-            cfg_kwargs["iterations"] = args.iterations
-        trace = module.generate(**cfg_kwargs)
-    elif args.workload == "synthetic":
-        from .sim.workloads.synthetic import SyntheticConfig
+            cfg_kwargs = {}
+            if args.processes is not None:
+                cfg_kwargs["ranks"] = args.processes
+            if args.iterations is not None:
+                cfg_kwargs["iterations"] = args.iterations
+            if args.seed is not None:
+                cfg_kwargs["seed"] = args.seed
+            trace = hybrid_openmp.generate(**cfg_kwargs)
+        elif args.workload in _PHENOMENON_WORKLOADS:
+            if args.seed is not None:
+                raise CLIError(
+                    f"--seed does not apply to {args.workload} "
+                    "(the phenomenon is deterministic)"
+                )
+            cfg_kwargs = {}
+            if args.processes is not None:
+                cfg_kwargs["ranks"] = args.processes
+            if args.iterations is not None:
+                cfg_kwargs["iterations"] = args.iterations
+            trace = module.generate(**cfg_kwargs)
+        elif args.workload == "synthetic":
+            from .sim.workloads.synthetic import SyntheticConfig
 
-        cfg_kwargs = {}
-        if args.processes is not None:
-            cfg_kwargs["ranks"] = args.processes
-        if args.iterations is not None:
-            cfg_kwargs["iterations"] = args.iterations
-        if args.seed is not None:
-            cfg_kwargs["seed"] = args.seed
-        trace = module.generate(SyntheticConfig(**cfg_kwargs))
-    else:
-        trace = module.generate(**kwargs)
-    _write_trace(trace, args.output)
+            cfg_kwargs = {}
+            if args.processes is not None:
+                cfg_kwargs["ranks"] = args.processes
+            if args.iterations is not None:
+                cfg_kwargs["iterations"] = args.iterations
+            if args.seed is not None:
+                cfg_kwargs["seed"] = args.seed
+            trace = module.generate(SyntheticConfig(**cfg_kwargs))
+        else:
+            trace = module.generate(**kwargs)
+    codec = _parse_codec_args(args.codec)
+    _write_trace(trace, args.output, version=args.out_version, codec=codec)
     print(
         f"wrote {args.output}: {trace.num_processes} processes, "
         f"{trace.num_events} events, {trace.duration:.4g}s"

@@ -2,8 +2,16 @@
 
 from . import ops
 from .countermodel import CounterSet, CounterSpec, FPU_EXCEPTIONS, PAPI_TOT_CYC
-from .engine import DeadlockError, SimResult, Simulator, simulate
-from .network import NetworkModel
+from .engine import DeadlockError, SimResult, Simulator, simulate, use_sink
+from .fastpath import HaloRing, LoopSpec
+from .network import (
+    DragonflyTopology,
+    FatTreeTopology,
+    NetworkModel,
+    Topology,
+    TopologyNetworkModel,
+    TorusTopology,
+)
 from .noise import (
     CompositeNoise,
     GaussianJitter,
@@ -13,30 +21,45 @@ from .noise import (
     NoiseModel,
     ScheduledInterruptions,
     Straggler,
+    scalar_noise,
+    vector_noise,
 )
 from .program import grid_coords, grid_rank, halo_exchange, neighbors_2d
+from .sink import ColumnarTraceSink, ObjectTraceSink
 
 __all__ = [
+    "ColumnarTraceSink",
     "CompositeNoise",
     "CounterSet",
     "CounterSpec",
     "DeadlockError",
+    "DragonflyTopology",
     "FPU_EXCEPTIONS",
+    "FatTreeTopology",
     "GaussianJitter",
+    "HaloRing",
     "ImbalanceRamp",
+    "LoopSpec",
     "NetworkModel",
     "NoNoise",
     "NoiseBursts",
     "NoiseModel",
+    "ObjectTraceSink",
     "PAPI_TOT_CYC",
     "ScheduledInterruptions",
     "SimResult",
     "Simulator",
     "Straggler",
+    "Topology",
+    "TopologyNetworkModel",
+    "TorusTopology",
     "grid_coords",
     "grid_rank",
     "halo_exchange",
     "neighbors_2d",
     "ops",
+    "scalar_noise",
     "simulate",
+    "use_sink",
+    "vector_noise",
 ]

@@ -27,6 +27,8 @@ __all__ = [
     "ImbalanceRamp",
     "Straggler",
     "CompositeNoise",
+    "scalar_noise",
+    "vector_noise",
 ]
 
 
@@ -184,3 +186,219 @@ class CompositeNoise(NoiseModel):
 
     def interruption(self, rank: int, t_start: float, active: float) -> float:
         return sum(m.interruption(rank, t_start, active) for m in self.models)
+
+
+# -- compiled forms ---------------------------------------------------------
+#
+# The engine's inner loop used to call ``model.interruption`` once per
+# Compute op, and the membership-style models (Straggler, ImbalanceRamp,
+# NoiseBursts, ScheduledInterruptions) re-scanned their rank tuples on
+# every call — O(events * ranks_listed).  ``scalar_noise`` hoists those
+# schedules into per-rank arrays built once per run (O(ranks)), and
+# ``vector_noise`` produces the whole-rank-vector form the vectorized
+# fast path consumes.  Both forms evaluate the *same floating-point
+# expressions* as the uncompiled models so traces stay bitwise
+# identical; composites preserve per-model summation order.
+
+
+def _member_list(ranks, size: int) -> list[bool]:
+    member = [False] * size
+    for r in ranks:
+        if 0 <= r < size:
+            member[r] = True
+    return member
+
+
+def scalar_noise(model: NoiseModel, size: int):
+    """Compile ``model`` into a per-rank-indexed closure.
+
+    Returns ``None`` when the model provably injects no noise (the
+    engine then skips the call entirely); otherwise a callable
+    ``fn(rank, t_start, active) -> float`` that matches
+    ``model.interruption`` bit for bit.
+    """
+    if isinstance(model, NoNoise):
+        return None
+    if isinstance(model, Straggler):
+        coeff = [0.0] * size
+        factor = model.factor - 1.0
+        for r in model.ranks:
+            if 0 <= r < size:
+                coeff[r] = factor
+        if not any(coeff):
+            return None
+
+        def straggler(rank: int, t_start: float, active: float) -> float:
+            return coeff[rank] * active
+
+        return straggler
+    if isinstance(model, ImbalanceRamp):
+        if model.rate <= 0.0:
+            return None
+        member = _member_list(model.ranks, size)
+        if not any(member):
+            return None
+        rate, t_cap = model.rate, model.t_cap
+
+        def ramp(rank: int, t_start: float, active: float) -> float:
+            if not member[rank]:
+                return 0.0
+            return rate * min(max(t_start, 0.0), t_cap) * active
+
+        return ramp
+    if isinstance(model, ScheduledInterruptions):
+        by_rank: list[list[tuple[float, float, float]]] = [[] for _ in range(size)]
+        for ev_rank, t0, t1, duration in model.events:
+            if 0 <= ev_rank < size:
+                by_rank[ev_rank].append((t0, t1, duration))
+        if not any(by_rank):
+            return None
+
+        def scheduled(rank: int, t_start: float, active: float) -> float:
+            total = 0.0
+            for t0, t1, duration in by_rank[rank]:
+                if t0 <= t_start < t1:
+                    total += duration
+            return total
+
+        return scheduled
+    if isinstance(model, NoiseBursts):
+        member = _member_list(model.ranks, size)
+        if not any(member) or model.period <= 0.0:
+            return None
+        period, duration = model.period, model.duration
+        phase, window = model.phase, model.window
+
+        def bursts(rank: int, t_start: float, active: float) -> float:
+            if not member[rank]:
+                return 0.0
+            offset = (t_start - phase) % period
+            if t_start >= phase and offset < window:
+                return duration
+            return 0.0
+
+        return bursts
+    if isinstance(model, CompositeNoise):
+        fns = [scalar_noise(m, size) for m in model.models]
+        if all(f is None for f in fns):
+            return None
+        # Models compiled to None contribute exactly 0.0, which the
+        # uncompiled sum would have added too; keep the literal adds so
+        # the accumulation order (and hence every bit) is unchanged.
+        parts = [f if f is not None else (lambda rank, t, a: 0.0) for f in fns]
+
+        def composite(rank: int, t_start: float, active: float) -> float:
+            total = 0
+            for f in parts:
+                total = total + f(rank, t_start, active)
+            return total
+
+        return composite
+    # Unknown / stateful models (GaussianJitter, user subclasses): call
+    # straight through — correctness first, no compilation possible.
+    return model.interruption
+
+
+def vector_noise(model: NoiseModel, size: int):
+    """Compile ``model`` into whole-rank-vector form for the fast path.
+
+    Returns ``fn(t_start, active) -> ndarray`` taking per-rank vectors,
+    or ``None`` when the model cannot be evaluated faithfully in vector
+    form (the fast path then falls back to the general engine).  The
+    returned callable carries ``always_zero=True`` when the model is
+    provably silent, letting callers skip the add entirely.
+    """
+    zero = None
+
+    def _zeros(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+        return np.zeros(size)
+
+    _zeros.always_zero = True  # type: ignore[attr-defined]
+    zero = _zeros
+
+    if isinstance(model, NoNoise):
+        return zero
+    if isinstance(model, Straggler):
+        coeff = np.zeros(size)
+        for r in model.ranks:
+            if 0 <= r < size:
+                coeff[r] = model.factor - 1.0
+        if not coeff.any():
+            return zero
+
+        def straggler(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+            return coeff * active
+
+        return straggler
+    if isinstance(model, ImbalanceRamp):
+        member = np.array(_member_list(model.ranks, size))
+        if model.rate <= 0.0 or not member.any():
+            return zero
+        rate_arr = np.where(member, model.rate, 0.0)
+        t_cap = model.t_cap
+
+        def ramp(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+            return rate_arr * np.minimum(np.maximum(t_start, 0.0), t_cap) * active
+
+        return ramp
+    if isinstance(model, ScheduledInterruptions):
+        events = [
+            (r, t0, t1, duration)
+            for r, t0, t1, duration in model.events
+            if 0 <= r < size
+        ]
+        if not events:
+            return zero
+
+        def scheduled(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+            out = np.zeros(size)
+            for r, t0, t1, duration in events:
+                ts = float(t_start[r])
+                if t0 <= ts < t1:
+                    out[r] += duration
+            return out
+
+        return scheduled
+    if isinstance(model, NoiseBursts):
+        members = [r for r in sorted(set(model.ranks)) if 0 <= r < size]
+        if not members or model.period <= 0.0:
+            return zero
+        period, duration = model.period, model.duration
+        phase, window = model.phase, model.window
+
+        def bursts(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+            out = np.zeros(size)
+            # Scalar evaluation per member rank keeps the window test
+            # (Python float ``%``) identical to the uncompiled model.
+            for r in members:
+                ts = float(t_start[r])
+                if ts >= phase and (ts - phase) % period < window:
+                    out[r] = duration
+            return out
+
+        return bursts
+    if isinstance(model, GaussianJitter):
+
+        def jitter(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+            out = np.empty(size)
+            for r in range(size):
+                out[r] = model.interruption(r, float(t_start[r]), float(active[r]))
+            return out
+
+        return jitter
+    if isinstance(model, CompositeNoise):
+        fns = [vector_noise(m, size) for m in model.models]
+        if any(f is None for f in fns):
+            return None
+        live = [f for f in fns if not getattr(f, "always_zero", False)]
+        if not live:
+            return zero
+
+        def composite(t_start: np.ndarray, active: np.ndarray) -> np.ndarray:
+            total = np.zeros(size)
+            for f in live:
+                total = total + f(t_start, active)
+            return total
+
+        return composite
+    return None

@@ -1,0 +1,339 @@
+"""Trace sinks: where the simulator's event stream lands.
+
+The engine records events through a tiny recorder protocol (``enter``,
+``leave``, ``send``, ``recv``, ``metric`` — the same surface as
+:class:`repro.trace.builder.ProcessBuilder`).  Two sinks implement it:
+
+``ColumnarTraceSink`` (the default)
+    Each rank appends straight into preallocated NumPy column buffers
+    with the canonical ``.rpt`` dtypes and default values prefilled, so
+    an ENTER costs two array stores instead of seven list appends and
+    freezing is a slice — no per-event Python objects are ever built.
+    The buffers can be written directly into ``.rpt`` v2 per-column
+    codec blobs (:meth:`ColumnarTraceSink.write`), bypassing
+    :class:`~repro.trace.trace.Trace` construction entirely.
+
+``ObjectTraceSink`` (``sink="objects"``)
+    The legacy path through :class:`TraceBuilder`/:class:`ProcessBuilder`,
+    retained as the differential oracle: its output is proven bitwise
+    identical to the columnar sink by the sink-parity tests.
+
+Both sinks share one :class:`TraceBuilder` for the definition
+registries, so region/metric ids (and hence fingerprints) are
+identical whichever sink records the events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..obs import counter as obs_counter
+from ..trace.builder import TraceBuilder
+from ..trace.definitions import Location
+from ..trace.events import EventKind, EventList
+from ..trace.trace import Trace
+
+__all__ = ["ColumnarRecorder", "ColumnarTraceSink", "ObjectTraceSink"]
+
+_ENTER = int(EventKind.ENTER)
+_LEAVE = int(EventKind.LEAVE)
+_SEND = int(EventKind.SEND)
+_RECV = int(EventKind.RECV)
+_METRIC = int(EventKind.METRIC)
+
+#: Canonical column order, matching ``repro.trace.events._FIELDS``.
+_COLUMNS = ("time", "kind", "ref", "partner", "size", "tag", "value")
+
+
+class ColumnarRecorder:
+    """Stack-checked per-rank event writer into NumPy column buffers.
+
+    Semantics (including every error message) mirror
+    :class:`~repro.trace.builder.ProcessBuilder`; only the storage
+    differs.  Buffers are prefilled with the column defaults
+    (``kind=ENTER``, ``ref=-1``, ``partner=-1``, zeros elsewhere) so
+    each event only stores the fields its kind actually carries.
+    """
+
+    __slots__ = (
+        "location",
+        "_tb",
+        "_n",
+        "_cap",
+        "_last",
+        "_stack",
+        "_time",
+        "_kind",
+        "_ref",
+        "_partner",
+        "_size",
+        "_tag",
+        "_value",
+    )
+
+    def __init__(
+        self, builder: TraceBuilder, location: Location, capacity: int = 32
+    ) -> None:
+        self._tb = builder
+        self.location = location
+        self._n = 0
+        self._stack: list[int] = []
+        self._last = float("-inf")
+        self._alloc(max(int(capacity), 1))
+
+    def _alloc(self, cap: int) -> None:
+        self._cap = cap
+        self._time = np.empty(cap, dtype=np.float64)
+        self._kind = np.zeros(cap, dtype=np.uint8)  # default ENTER
+        self._ref = np.full(cap, -1, dtype=np.int32)
+        self._partner = np.full(cap, -1, dtype=np.int32)
+        self._size = np.zeros(cap, dtype=np.int64)
+        self._tag = np.zeros(cap, dtype=np.int32)
+        self._value = np.zeros(cap, dtype=np.float64)
+
+    def _grow(self) -> None:
+        n, old = self._n, (
+            self._time, self._kind, self._ref,
+            self._partner, self._size, self._tag, self._value,
+        )
+        self._alloc(self._cap * 2)
+        for name, arr in zip(_COLUMNS, old):
+            getattr(self, f"_{name}")[:n] = arr[:n]
+
+    # -- stack state ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current_region(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def now(self) -> float | None:
+        return self._last if self._n else None
+
+    # -- event writing --------------------------------------------------
+
+    def _row(self, time: float) -> int:
+        if time < self._last:
+            raise ValueError(
+                f"non-monotonic timestamp {time} after {self._last}"
+            )
+        self._last = time
+        n = self._n
+        if n == self._cap:
+            self._grow()
+        self._n = n + 1
+        self._time[n] = time
+        return n
+
+    def enter(self, time: float, region: int | str) -> int:
+        region_id = self._resolve(region)
+        n = self._row(time)
+        # kind buffer is prefilled with ENTER
+        self._ref[n] = region_id
+        self._stack.append(region_id)
+        return region_id
+
+    def leave(self, time: float, region: int | str | None = None) -> int:
+        if not self._stack:
+            raise ValueError(
+                f"leave at t={time} on {self.location.name}: stack is empty"
+            )
+        top = self._stack[-1]
+        if region is not None:
+            region_id = self._resolve(region)
+            if region_id != top:
+                raise ValueError(
+                    f"leave({self._region_name(region_id)!r}) at t={time} does not "
+                    f"match open region {self._region_name(top)!r}"
+                )
+        self._stack.pop()
+        n = self._row(time)
+        self._kind[n] = _LEAVE
+        self._ref[n] = top
+        return top
+
+    def call(self, t_enter: float, t_leave: float, region: int | str) -> None:
+        if t_leave < t_enter:
+            raise ValueError(f"negative duration: [{t_enter}, {t_leave}]")
+        self.enter(t_enter, region)
+        self.leave(t_leave)
+
+    def send(self, time: float, partner: int, size: int = 0, tag: int = 0) -> None:
+        n = self._row(time)
+        self._kind[n] = _SEND
+        self._partner[n] = partner
+        self._size[n] = size
+        self._tag[n] = tag
+
+    def recv(self, time: float, partner: int, size: int = 0, tag: int = 0) -> None:
+        n = self._row(time)
+        self._kind[n] = _RECV
+        self._partner[n] = partner
+        self._size[n] = size
+        self._tag[n] = tag
+
+    def metric(self, time: float, metric: int | str, value: float) -> None:
+        if isinstance(metric, str):
+            metric = self._tb.metrics.id_of(metric)
+        n = self._row(time)
+        self._kind[n] = _METRIC
+        self._ref[n] = metric
+        self._value[n] = value
+
+    # -- helpers --------------------------------------------------------
+
+    def _resolve(self, region: int | str) -> int:
+        if isinstance(region, str):
+            return self._tb.regions.id_of(region)
+        return int(region)
+
+    def _region_name(self, region_id: int) -> str:
+        return self._tb.regions[region_id].name
+
+    def finish(self) -> None:
+        if self._stack:
+            open_names = [self._region_name(r) for r in self._stack]
+            raise ValueError(
+                f"{self.location.name}: unclosed regions at end of trace: "
+                f"{open_names}"
+            )
+
+    # -- finalisation ---------------------------------------------------
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Trimmed views of the column buffers (no copies)."""
+        n = self._n
+        return {name: getattr(self, f"_{name}")[:n] for name in _COLUMNS}
+
+    def freeze_events(self) -> EventList:
+        cols = self.columns()
+        return EventList(*(cols[name] for name in _COLUMNS))
+
+
+class ObjectTraceSink:
+    """Legacy sink: events through ``TraceBuilder``/``ProcessBuilder``."""
+
+    kind = "objects"
+
+    def __init__(self, builder: TraceBuilder) -> None:
+        self.tb = builder
+
+    def recorder(self, rank: int, name: str | None = None):
+        return self.tb.process(rank, name=name)
+
+    def freeze(self, check_stacks: bool = True) -> Trace:
+        return self.tb.freeze(check_stacks=check_stacks)
+
+    @property
+    def num_events(self) -> int:
+        return sum(len(pb._events) for pb in self.tb._processes.values())
+
+
+class ColumnarTraceSink:
+    """Default sink: per-rank preallocated NumPy column buffers.
+
+    Ranks either record event by event through a
+    :class:`ColumnarRecorder` (the general engine) or hand over
+    fully-computed column arrays at once (:meth:`adopt`, used by the
+    vectorized fast path).
+    """
+
+    kind = "columnar"
+
+    def __init__(self, builder: TraceBuilder, capacity: int = 32) -> None:
+        self.tb = builder
+        self._capacity = capacity
+        self._recorders: dict[int, ColumnarRecorder] = {}
+        self._adopted: dict[int, tuple[Location, dict[str, np.ndarray]]] = {}
+
+    def recorder(self, rank: int, name: str | None = None) -> ColumnarRecorder:
+        rec = self._recorders.get(rank)
+        if rec is None:
+            location = Location(
+                id=rank, name=name or f"Process {rank}", group="MPI"
+            )
+            rec = ColumnarRecorder(self.tb, location, capacity=self._capacity)
+            self._recorders[rank] = rec
+        return rec
+
+    def adopt(
+        self, rank: int, name: str, columns: dict[str, np.ndarray]
+    ) -> None:
+        """Install precomputed column arrays for one rank."""
+        location = Location(id=rank, name=name, group="MPI")
+        self._adopted[rank] = (location, columns)
+
+    @property
+    def num_events(self) -> int:
+        total = sum(rec._n for rec in self._recorders.values())
+        total += sum(len(cols["time"]) for _, cols in self._adopted.values())
+        return total
+
+    def rank_columns(self) -> Iterator[tuple[Location, int, dict[str, np.ndarray]]]:
+        """Per-rank ``(location, n, columns)`` in ascending rank order."""
+        for rank in sorted(self._recorders.keys() | self._adopted.keys()):
+            rec = self._recorders.get(rank)
+            if rec is not None:
+                yield rec.location, rec._n, rec.columns()
+            else:
+                location, cols = self._adopted[rank]
+                yield location, len(cols["time"]), cols
+
+    def freeze(self, check_stacks: bool = True) -> Trace:
+        trace = Trace(
+            regions=self.tb.regions,
+            metrics=self.tb.metrics,
+            name=self.tb.name,
+            attributes=self.tb.attributes,
+        )
+        for rank in sorted(self._recorders.keys() | self._adopted.keys()):
+            rec = self._recorders.get(rank)
+            if rec is not None:
+                if check_stacks:
+                    rec.finish()
+                trace.add_process(rec.location, rec.freeze_events())
+            else:
+                location, cols = self._adopted[rank]
+                trace.add_process(
+                    location, EventList(*(cols[name] for name in _COLUMNS))
+                )
+        return trace
+
+    def write(
+        self,
+        path,
+        *,
+        version: int | None = None,
+        codec=None,
+        compresslevel: int = 6,
+    ) -> int:
+        """Serialise the buffers straight to ``.rpt``; returns file bytes.
+
+        This is the direct-to-v2 path: column buffers become codec
+        blobs without building a :class:`Trace` or any
+        :class:`EventList` in between.
+        """
+        from ..trace.binio import BIN_VERSION, write_binary_arrays
+
+        total = write_binary_arrays(
+            path,
+            name=self.tb.name,
+            attributes=self.tb.attributes,
+            regions=self.tb.regions,
+            metrics=self.tb.metrics,
+            locations=self.rank_columns(),
+            version=BIN_VERSION if version is None else version,
+            codec=codec,
+            compresslevel=compresslevel,
+        )
+        obs_counter("sim.bytes_written").add(total)
+        return total

@@ -2,6 +2,7 @@
 
 from . import (
     base,
+    congestion,
     cosmo_specs,
     cosmo_specs_fd4,
     hybrid_openmp,
@@ -14,6 +15,7 @@ from . import (
 
 __all__ = [
     "base",
+    "congestion",
     "cosmo_specs",
     "cosmo_specs_fd4",
     "hybrid_openmp",

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...trace.trace import Trace
 from .. import ops
 from ..countermodel import CounterSet
 from ..engine import SimResult, simulate
+from ..fastpath import HaloRing, LoopSpec
 from ..network import NetworkModel
 from ..noise import NoiseModel, ScheduledInterruptions
 
@@ -104,11 +107,21 @@ def generate_result(
         config = IdleWaveConfig()
     if noise is None:
         noise = _burst_noise(config)
+    compute = np.full(config.ranks, config.base_compute)
+    loop = LoopSpec(
+        iterations=config.iterations,
+        seconds=lambda it: compute,
+        setup_seconds=config.base_compute / 4,
+        compute_region="smooth",
+        halo=HaloRing(bytes=config.halo_bytes, tag=3),
+        collective="none",
+    )
     return simulate(
         size=config.ranks,
         program=_program_factory(config),
         network=network,
         noise=noise,
+        loop=loop,
         counters=CounterSet((CounterSet.cycles(),)),
         name="idle-wave ring",
         attributes={

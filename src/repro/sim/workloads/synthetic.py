@@ -11,10 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+import numpy as np
+
 from ...trace.trace import Trace
 from .. import ops
 from ..countermodel import CounterSet
 from ..engine import SimResult, simulate
+from ..fastpath import HaloRing, LoopSpec
 from ..network import NetworkModel
 from ..noise import GaussianJitter, NoiseModel, NoNoise
 
@@ -110,6 +113,50 @@ def _program_factory(config: SyntheticConfig):
     return program
 
 
+def _loop_spec(config: SyntheticConfig) -> LoopSpec:
+    """The program above, declared for the vectorized fast path.
+
+    Expressions mirror :meth:`SyntheticConfig.compute_seconds` exactly
+    (same association), keeping fast-path traces bitwise identical to
+    the interpreted generator.
+    """
+    size = config.ranks
+    base = config.base_compute * np.array(
+        [config.slow_ranks.get(r, 1.0) for r in range(size)]
+    )
+
+    def seconds(it: int) -> np.ndarray:
+        growth = (1.0 + config.trend_per_step) ** it
+        return base * growth / config.subiters
+
+    extra = None
+    if config.outliers:
+        outliers = config.outliers
+
+        def extra(it: int) -> np.ndarray:
+            row = np.zeros(size)
+            for (rank, iteration), seconds_ in outliers.items():
+                if iteration == it and 0 <= rank < size:
+                    row[rank] = seconds_
+            return row
+
+    halo = (
+        HaloRing(bytes=config.halo_bytes, tag=7)
+        if config.use_halo and size > 1
+        else None
+    )
+    return LoopSpec(
+        iterations=config.iterations,
+        seconds=seconds,
+        subiters=config.subiters,
+        extra=extra,
+        setup_seconds=0.001,
+        halo=halo,
+        collective=config.collective,
+        collective_size=8,
+    )
+
+
 def generate_result(
     config: SyntheticConfig | None = None,
     network: NetworkModel | None = None,
@@ -132,6 +179,7 @@ def generate_result(
         counters=CounterSet((CounterSet.cycles(),)),
         name="synthetic",
         attributes={"workload": "synthetic"},
+        loop=_loop_spec(config),
     )
 
 

@@ -56,7 +56,14 @@ from .definitions import (
 from .events import EventList
 from .trace import Trace
 
-__all__ = ["write_binary", "read_binary", "BIN_VERSION", "BIN_ALIGN", "CODECS"]
+__all__ = [
+    "write_binary",
+    "write_binary_arrays",
+    "read_binary",
+    "BIN_VERSION",
+    "BIN_ALIGN",
+    "CODECS",
+]
 
 MAGIC = b"RPTR"
 #: Newest format version the writer emits (and the writer default).
@@ -131,6 +138,43 @@ def write_binary(
         zlib is kept only when it beats raw by a clear margin), or a
         ``{column: codec}`` dict for per-column control.
     """
+    write_binary_arrays(
+        path,
+        name=trace.name,
+        attributes=trace.attributes,
+        regions=trace.regions,
+        metrics=trace.metrics,
+        locations=(
+            (p.location, len(p.events), {c: getattr(p.events, c) for c in _COLUMNS})
+            for p in trace.processes()
+        ),
+        compresslevel=compresslevel,
+        version=version,
+        codec=codec,
+    )
+
+
+def write_binary_arrays(
+    path: str | os.PathLike,
+    *,
+    name: str,
+    attributes: dict,
+    regions,
+    metrics,
+    locations,
+    compresslevel: int = 6,
+    version: int = BIN_VERSION,
+    codec=None,
+) -> int:
+    """Serialise raw column arrays to ``path``; returns total file bytes.
+
+    ``locations`` yields ``(Location, n, {column: ndarray})`` triples in
+    the order they should appear on disk.  This is the array-level core
+    of :func:`write_binary` — sinks that already hold column buffers
+    (e.g. the simulator's ``ColumnarTraceSink``) call it directly and
+    skip ``Trace``/``EventList`` construction entirely; the bytes
+    produced are identical either way.
+    """
     if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported binary version {version}")
     if version == 1 and codec not in (None, "zlib", "auto"):
@@ -140,11 +184,10 @@ def write_binary(
     pads: list[int] = []
     offset = 0
     location_manifest = []
-    for proc in trace.processes():
-        ev = proc.events
+    for location, n, cols in locations:
         columns = {}
         for col in _COLUMNS:
-            arr = getattr(ev, col)
+            arr = cols[col]
             raw = arr.tobytes()
             spec = {"dtype": arr.dtype.str}
             if version == 1:
@@ -171,17 +214,17 @@ def write_binary(
             offset += pad + len(blob)
         location_manifest.append(
             {
-                "id": proc.location.id,
-                "name": proc.location.name,
-                "group": proc.location.group,
-                "n": len(ev),
+                "id": location.id,
+                "name": location.name,
+                "group": location.group,
+                "n": int(n),
                 "columns": columns,
             }
         )
 
     header = {
-        "name": trace.name,
-        "attributes": trace.attributes,
+        "name": name,
+        "attributes": attributes,
         "regions": [
             {
                 "id": r.id,
@@ -191,7 +234,7 @@ def write_binary(
                 "source_file": r.source_file,
                 "line": r.line,
             }
-            for r in trace.regions
+            for r in regions
         ],
         "metrics": [
             {
@@ -201,7 +244,7 @@ def write_binary(
                 "mode": int(m.mode),
                 "description": m.description,
             }
-            for m in trace.metrics
+            for m in metrics
         ],
         "locations": location_manifest,
     }
@@ -219,6 +262,7 @@ def write_binary(
             if pad:
                 fp.write(b"\0" * pad)
             fp.write(blob)
+        return fp.tell()
 
 
 def payload_start(header_len: int, version: int) -> int:
