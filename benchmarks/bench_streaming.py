@@ -10,10 +10,7 @@ and records throughput plus peak RSS into ``BENCH_streaming.json``
 (and the canonical repo-root copy ``BENCH_stream.json``).
 """
 
-import json
 import resource
-import subprocess
-from pathlib import Path
 
 import numpy as np
 
@@ -141,34 +138,14 @@ def test_streaming_throughput(benchmark, report, bench_meta):
     best = float(benchmark.stats.stats.min)
     throughput = n / best
     peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    # The repo-root BENCH_stream.json canonical copy is written by the
+    # shared _bench_record fixture (one writer, two paths) — no inline
+    # duplicate here, so the copies cannot drift.
     bench_meta(
         events=n,
         chunk_events=chunk,
         peak_rss_bytes=peak_rss,
         throughput_events_per_s=throughput,
-    )
-
-    root = Path(__file__).resolve().parent.parent
-    try:
-        sha = subprocess.run(
-            ["git", "rev-parse", "HEAD"], cwd=root,
-            capture_output=True, text=True, check=True,
-        ).stdout.strip()
-    except Exception:
-        sha = None
-    payload = {
-        "bench": "stream",
-        "git_sha": sha,
-        "results": {
-            "throughput_events_per_s": throughput,
-            "peak_rss_bytes": peak_rss,
-            "events": n,
-            "chunk_events": chunk,
-            "wall_s": best,
-        },
-    }
-    (root / "BENCH_stream.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
 
     report(

@@ -16,6 +16,21 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: Benchmarks whose records are additionally mirrored to a canonical
+#: repo-root copy (the cross-PR perf trajectory lives there).  Keys are
+#: the ``bench_<module>`` suffix, values the root file name — the two
+#: copies are written from the same serialized payload in the same
+#: teardown, so they cannot diverge.  ``scripts/check_bench_sync.py``
+#: keeps this mapping honest in CI.
+CANONICAL_ROOT_COPIES = {
+    "fastpath": "BENCH_fastpath.json",
+    "lint": "BENCH_lint.json",
+    "sim": "BENCH_sim.json",
+    "hb": "BENCH_hb.json",
+    "streaming": "BENCH_stream.json",
+}
 
 
 @pytest.fixture(scope="session")
@@ -129,8 +144,11 @@ def _bench_record(request):
     record[request.node.name] = entry
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {"bench": name, "git_sha": _git_sha(), "results": record}
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(text)
+    root_name = CANONICAL_ROOT_COPIES.get(name)
+    if root_name:
+        (REPO_ROOT / root_name).write_text(text)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Keep the two copies of each BENCH_*.json record byte-identical.
+
+The benchmark harness persists machine-readable records twice: the
+working copy under ``benchmarks/results/`` (next to the text reports)
+and a canonical copy at the repo root (the cross-PR perf trajectory
+that ``repro perf record`` ingests and CI gates read).  Both are
+written from the same serialized payload by ``benchmarks/conftest.py``
+— this script is the CI tripwire that keeps it that way:
+
+* ``--check`` (default) exits 1 if any pair differs, if a mapped
+  results file is missing, or if a root ``BENCH_*.json`` exists that
+  the conftest mapping does not produce (an unmapped writer crept in);
+* ``--fix`` copies ``benchmarks/results/`` over the root canonical
+  copies (the results side is the one the harness regenerates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS = os.path.join(ROOT, "benchmarks", "results")
+
+#: Mirror of ``benchmarks.conftest.CANONICAL_ROOT_COPIES`` — imported
+#: when possible so the two cannot drift, duplicated as a fallback for
+#: environments without pytest on the path.
+_FALLBACK_MAPPING = {
+    "fastpath": "BENCH_fastpath.json",
+    "lint": "BENCH_lint.json",
+    "sim": "BENCH_sim.json",
+    "hb": "BENCH_hb.json",
+    "streaming": "BENCH_stream.json",
+}
+
+
+def _mapping() -> dict[str, str]:
+    sys.path.insert(0, os.path.join(ROOT, "benchmarks"))
+    try:
+        from conftest import CANONICAL_ROOT_COPIES  # type: ignore
+
+        return dict(CANONICAL_ROOT_COPIES)
+    except Exception:
+        return dict(_FALLBACK_MAPPING)
+    finally:
+        sys.path.pop(0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true", default=True,
+                      help="verify the copies match (default)")
+    mode.add_argument("--fix", action="store_true",
+                      help="copy benchmarks/results/ over the root copies")
+    args = parser.parse_args()
+
+    mapping = _mapping()
+    problems: list[str] = []
+    fixed = 0
+    for name, root_name in sorted(mapping.items()):
+        results_path = os.path.join(RESULTS, f"BENCH_{name}.json")
+        root_path = os.path.join(ROOT, root_name)
+        if not os.path.exists(results_path):
+            problems.append(f"missing results copy: {results_path}")
+            continue
+        if args.fix:
+            shutil.copyfile(results_path, root_path)
+            fixed += 1
+            continue
+        if not os.path.exists(root_path):
+            problems.append(f"missing root canonical copy: {root_path}")
+            continue
+        with open(results_path, "rb") as fh:
+            results_bytes = fh.read()
+        with open(root_path, "rb") as fh:
+            root_bytes = fh.read()
+        if results_bytes != root_bytes:
+            problems.append(
+                f"copies differ: {root_name} != "
+                f"benchmarks/results/BENCH_{name}.json "
+                "(run scripts/check_bench_sync.py --fix)"
+            )
+
+    # Any root BENCH file outside the mapping means someone added a
+    # writer the conftest does not know about — the drift this script
+    # exists to prevent.
+    mapped_roots = set(mapping.values())
+    for entry in sorted(os.listdir(ROOT)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            if entry not in mapped_roots:
+                problems.append(
+                    f"unmapped root benchmark record: {entry} "
+                    "(add it to CANONICAL_ROOT_COPIES in "
+                    "benchmarks/conftest.py)"
+                )
+
+    if args.fix:
+        print(f"synced {fixed} canonical root cop{'y' if fixed == 1 else 'ies'}")
+        return 0
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(mapping)} benchmark record pairs in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,13 @@ gate that is robust across machines:
    disabled run cannot lose more than ``--threshold`` (default 5%)
    against the uninstrumented PR-4 fast path.
 
+The sampling profiler (``--profile``) gets the same treatment: its
+only per-sample work is one stack walk in the signal handler, so the
+script microbenchmarks a representative-depth stack walk on this
+machine and asserts ``walk-cost / sampling-interval <
+--profiler-threshold`` (default 2%) — the machine-independent form of
+"profiling costs under 2% of wall time".
+
 The measured disabled wall is also printed next to the recorded
 baseline from ``BENCH_fastpath.json`` for the perf trajectory; the
 hard assertion is the machine-independent bound above (CI runners and
@@ -61,6 +68,16 @@ def main() -> int:
     parser.add_argument(
         "--repeats", type=int, default=3,
         help="best-of-N repetitions for the analyze wall (default 3)",
+    )
+    parser.add_argument(
+        "--profiler-threshold", type=float, default=0.02,
+        help="maximum tolerated sampling-profiler overhead fraction "
+        "(default 0.02)",
+    )
+    parser.add_argument(
+        "--profiler-interval-ms", type=float, default=5.0,
+        help="sampling interval the bound is computed for (default "
+        "5.0, matching --profile-interval)",
     )
     args = parser.parse_args()
 
@@ -137,6 +154,45 @@ def main() -> int:
     print(
         f"OK: disabled-mode overhead bound {100 * ratio:.3f}% "
         f"< {100 * args.threshold:.0f}%"
+    )
+
+    # -- sampling-profiler bound ---------------------------------------
+    # Per sample the handler does one stack walk; everything else is
+    # list appends.  Measure the walk at a representative depth (the
+    # analyzer's session stack runs ~15-25 frames deep) and bound
+    # walk-cost x sampling-rate against the wall clock.
+    from repro.obs.profiler import _stack_of
+
+    def _deep(n: int):
+        if n == 0:
+            return sys._getframe()
+        return _deep(n - 1)
+
+    frame = _deep(25)
+    n_walks = 20_000
+    walk_s = timeit.timeit(
+        "f(frame)",
+        globals={"f": _stack_of, "frame": frame},
+        number=n_walks,
+    ) / n_walks
+    interval_s = args.profiler_interval_ms / 1000.0
+    prof_ratio = walk_s / interval_s
+    print(f"profiler stack-walk cost:          {walk_s * 1e6:.2f} us/sample "
+          f"(depth 25)")
+    print(
+        f"estimated profiler overhead:       {100 * prof_ratio:.3f}% "
+        f"at a {args.profiler_interval_ms:g} ms interval"
+    )
+    if prof_ratio >= args.profiler_threshold:
+        print(
+            f"FAIL: estimated profiler overhead {100 * prof_ratio:.2f}% "
+            f">= {100 * args.profiler_threshold:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: profiler overhead bound {100 * prof_ratio:.3f}% "
+        f"< {100 * args.profiler_threshold:.0f}%"
     )
     return 0
 

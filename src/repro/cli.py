@@ -189,6 +189,25 @@ def _add_obs_args(parser) -> None:
         help="print the telemetry summary table (per-phase wall time, "
         "cache hit ratio, throughput) after the command",
     )
+    parser.add_argument(
+        "--metrics-file", dest="metrics_file", default=None, metavar="PATH",
+        help="write the telemetry counters/gauges as a Prometheus-style "
+        "textfile exposition (atomically; `monitor --follow` rewrites "
+        "it periodically while streaming)",
+    )
+    parser.add_argument(
+        "--profile", dest="profile", default=None, metavar="PATH",
+        help="sample the analyzer's own Python stacks while the command "
+        "runs and write the profile (.json = speedscope, anything "
+        "else = collapsed stacks); samples also fold into "
+        "--self-trace as a call-path rank",
+    )
+    parser.add_argument(
+        "--profile-interval", dest="profile_interval", type=float,
+        default=5.0, metavar="MS",
+        help="sampling interval for --profile in milliseconds "
+        "(default 5.0)",
+    )
 
 
 def _add_shard_args(parser) -> None:
@@ -382,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retain at most N completed segments per rank "
                           "(bounded-memory mode; alerts and running totals "
                           "are unaffected)")
+    _add_obs_args(mon)
 
     comp = sub.add_parser("compare", help="compare two runs segment by segment")
     comp.add_argument("trace_a", help="reference run")
@@ -453,6 +473,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the graph to this file instead of stdout")
     _add_shard_args(deps)
     _add_obs_args(deps)
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark history store and regression radar",
+        description=(
+            "Maintain a JSONL history of BENCH_*.json benchmark records "
+            "(content-addressed by bench, test, git sha and machine "
+            "fingerprint) and run the paper's variation detection over "
+            "it: windowed median/MAD outlier tests on the newest point "
+            "and Theil-Sen + Mann-Kendall drift over the series.  "
+            "`check` exits 1 when any benchmark regressed."
+        ),
+    )
+    perf.add_argument("action", choices=("record", "check", "report"))
+    perf.add_argument("inputs", nargs="*",
+                      help="BENCH_*.json files to ingest (record only)")
+    perf.add_argument("--history", required=True, metavar="FILE",
+                      help="JSONL history file (created on first record)")
+    perf.add_argument("--sha", default=None,
+                      help="override the git sha recorded with each row "
+                      "(default: the BENCH file's git_sha)")
+    perf.add_argument("--machine", default=None,
+                      help="override the machine fingerprint "
+                      "(default: hashed platform facts)")
+    perf.add_argument("--timestamp", type=float, default=None,
+                      help="override the recorded_at wall-clock stamp")
+    perf.add_argument("--window", type=int, default=20,
+                      help="trailing window for the outlier test "
+                      "(default 20)")
+    perf.add_argument("--threshold", type=float, default=4.0,
+                      help="robust z-score threshold (default 4.0)")
+    perf.add_argument("--min-points", type=int, default=5,
+                      help="measurements needed before the outlier test "
+                      "runs (drift needs twice this; default 5)")
+    perf.add_argument("--min-relative", type=float, default=0.10,
+                      help="minimum relative slowdown to alarm on "
+                      "(default 0.10 = 10%%)")
+    perf.add_argument("--json", dest="json_out", default=None,
+                      metavar="PATH",
+                      help="also write the findings as JSON to this path")
 
     for sp in sub.choices.values():
         _add_verbosity_args(sp)
@@ -880,6 +940,18 @@ def _cmd_monitor(args) -> int:
         history_limit=args.window,
     )
     lag = obs.gauge("stream.lag_events")
+    # Live exposition: while following a growing trace, rewrite the
+    # metrics file about once a second so a scraper sees the stream's
+    # counters and ring series move in near-real time.
+    metrics_path = getattr(args, "metrics_file", None)
+    metrics_col = obs.collector() if metrics_path else None
+    last_metrics = 0.0
+    if metrics_col is not None:
+        import time as _time
+
+        from .obs.metrics import write_metrics_file
+
+        last_metrics = _time.monotonic()
     total = 0
     for batch in cursor:
         if len(batch.events):
@@ -887,6 +959,11 @@ def _cmd_monitor(args) -> int:
                 print(f"ALERT {alert}")
             total += len(batch.events)
         lag.set(float(getattr(cursor, "backlog_events", 0)))
+        if metrics_col is not None:
+            now = _time.monotonic()
+            if now - last_metrics >= 1.0:
+                write_metrics_file(metrics_col, metrics_path)
+                last_metrics = now
     print(
         f"streamed {total} events; dominant "
         f"{analyzer.dominant_name!r}; {len(analyzer.alerts)} alerts"
@@ -940,8 +1017,89 @@ def _cmd_stats(args) -> int:
             f"note: {args.trace} is not a self-trace; summarizing its "
             "regions as phases\n"
         )
-    print(summarize(trace).format())
+    summary = summarize(trace)
+    if not summary.phases and not summary.counters and not summary.gauges:
+        print(
+            f"{args.trace}: no telemetry recorded (no spans, counters "
+            "or gauges) — run the producing command with --self-trace "
+            "while work happens"
+        )
+        return 0
+    if not summary.phases and summary.counters:
+        print(
+            f"{args.trace}: counters only (no spans recorded)\n"
+        )
+    print(summary.format())
     return 0
+
+
+def _cmd_perf(args) -> int:
+    from .perf import (
+        PerfHistory,
+        check_history,
+        format_findings,
+        format_report,
+        record_bench_files,
+    )
+
+    try:
+        history = PerfHistory.load(args.history)
+    except ValueError as err:
+        raise CLIError(str(err))
+    except OSError as err:
+        raise CLIError(f"cannot read history {args.history}: {err}")
+
+    if args.action == "record":
+        if not args.inputs:
+            raise CLIError("perf record needs at least one BENCH_*.json")
+        try:
+            n = record_bench_files(
+                history,
+                args.inputs,
+                sha=args.sha,
+                machine=args.machine,
+                timestamp=args.timestamp,
+            )
+        except FileNotFoundError as err:
+            raise CLIError(f"benchmark record not found: {err.filename}")
+        except (json.JSONDecodeError, ValueError) as err:
+            raise CLIError(f"cannot parse benchmark record: {err}")
+        history.save(args.history)
+        print(
+            f"recorded {n} measurement(s) into {args.history} "
+            f"({len(history.rows)} total)"
+        )
+        return 0
+
+    if args.action == "report":
+        print(format_report(history))
+        return 0
+
+    findings = check_history(
+        history,
+        window=args.window,
+        threshold=args.threshold,
+        min_points=args.min_points,
+        min_relative=args.min_relative,
+    )
+    print(format_findings(findings))
+    if args.json_out:
+        doc = [
+            {
+                "bench": f.bench,
+                "test": f.test,
+                "machine": f.machine,
+                "kind": f.kind,
+                "message": f.message,
+                "latest_s": f.latest_s,
+                "baseline_s": f.baseline_s,
+            }
+            for f in findings
+        ]
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    return 1 if findings else 0
 
 
 def _configure_cli_logging(args) -> None:
@@ -960,10 +1118,26 @@ def _configure_cli_logging(args) -> None:
         raise CLIError(str(err))
 
 
-def _emit_telemetry(args, col) -> None:
-    """Handle --self-trace / --stats after the command body ran."""
+def _emit_telemetry(args, col, profiler=None) -> None:
+    """Handle --self-trace / --stats / --profile / --metrics-file."""
     from . import obs
 
+    if profiler is not None:
+        prof_path = getattr(args, "profile", None)
+        if prof_path:
+            try:
+                profiler.write(prof_path)
+            except OSError as err:
+                raise CLIError(f"cannot write profile {prof_path}: {err}")
+            print(
+                f"wrote profile {prof_path}: {len(profiler.samples)} "
+                f"samples at {1000 * profiler.interval:g} ms",
+                file=sys.stderr,
+            )
+        if col is not None:
+            # Fold the call paths in *before* the self-trace export so
+            # the profile appears as one extra rank of the same trace.
+            col.attach_profile(profiler)
     path = getattr(args, "self_trace", None)
     if path:
         from .obs.export import write_self_trace
@@ -977,9 +1151,24 @@ def _emit_telemetry(args, col) -> None:
             f"{trace.num_events} events",
             file=sys.stderr,
         )
+    metrics_path = getattr(args, "metrics_file", None)
+    if metrics_path and col is not None:
+        from .obs.metrics import write_metrics_file
+
+        try:
+            write_metrics_file(col, metrics_path)
+        except OSError as err:
+            raise CLIError(f"cannot write metrics {metrics_path}: {err}")
     if getattr(args, "stats", False):
+        summary = obs.summarize(col)
         print()
-        print(obs.summarize(col).format())
+        if not summary.phases and not summary.counters and not summary.gauges:
+            print(
+                "no telemetry recorded (no spans, counters or gauges "
+                "fired during this command)"
+            )
+            return
+        print(summary.format())
 
 
 def _cmd_fuzz(args) -> int:
@@ -1054,6 +1243,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "fuzz": _cmd_fuzz,
     "deps": _cmd_deps,
+    "perf": _cmd_perf,
 }
 
 
@@ -1062,19 +1252,40 @@ def main(argv: list[str] | None = None) -> int:
     try:
         _configure_cli_logging(args)
         col = None
-        if getattr(args, "self_trace", None) or getattr(args, "stats", False):
+        profiler = None
+        wants_obs = (
+            getattr(args, "self_trace", None)
+            or getattr(args, "stats", False)
+            or getattr(args, "metrics_file", None)
+            or getattr(args, "profile", None)
+        )
+        if wants_obs:
             from . import obs
 
             col = obs.enable()
+            if getattr(args, "profile", None):
+                from .obs.profiler import Profiler
+
+                interval = getattr(args, "profile_interval", 5.0)
+                if interval <= 0:
+                    raise CLIError(
+                        f"--profile-interval must be > 0 ms, got {interval}"
+                    )
+                profiler = Profiler(
+                    interval=interval / 1000.0, clock=col.clock
+                )
+                profiler.start()
         try:
             code = _COMMANDS[args.command](args)
         finally:
+            if profiler is not None:
+                profiler.stop()
             if col is not None:
                 from . import obs
 
                 col = obs.disable()
         if col is not None:
-            _emit_telemetry(args, col)
+            _emit_telemetry(args, col, profiler)
         return code
     except CLIError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -223,14 +223,28 @@ def _worker_obs_setup(payload: dict) -> bool:
     workers inherit the parent's enabled state and collector; the pid
     check spots that stale copy and replaces it with a fresh worker
     collector whose snapshot ships back with the result.
+
+    The payload's ``obs`` value is the parent's trace context
+    (:func:`repro.obs.current_context`): the worker collector inherits
+    the parent's trace id, epoch and launching span, so its journals
+    land on the parent's time axis in the same causal trace.  A bare
+    ``True`` (pre-context payloads) still enables a detached collector.
     """
-    if not payload.get("obs"):
+    ctx = payload.get("obs")
+    if not ctx:
         return False
     col = obs.collector()
     if obs.enabled() and col is not None and col.pid == os.getpid():
         return False
+    kwargs = {}
+    if isinstance(ctx, dict):
+        kwargs = {
+            "trace_id": ctx.get("trace_id"),
+            "epoch": ctx.get("epoch"),
+            "parent_span": ctx.get("parent_span"),
+        }
     obs.enable(
-        obs.Collector(origin=f"shard-{payload.get('shard', 0)}")
+        obs.Collector(origin=f"shard-{payload.get('shard', 0)}", **kwargs)
     )
     return True
 
@@ -625,7 +639,7 @@ class ShardEngine:
                 "spill_dir": self.spill_dir,
                 "validate": self.validate,
                 "shard": shard,
-                "obs": obs.enabled(),
+                "obs": obs.current_context(),
             }
             if self.source_path is not None:
                 payload["path"] = self.source_path
@@ -668,7 +682,7 @@ class ShardEngine:
                 "sync_regions": np.asarray(sync_regions),
                 "spill_dir": self.spill_dir,
                 "shard": shard,
-                "obs": obs.enabled(),
+                "obs": obs.current_context(),
             }
             for shard, group in enumerate(self.plan.groups)
         ]

@@ -24,6 +24,7 @@ __all__ = [
     "TrendResult",
     "detect_trend",
     "mann_kendall",
+    "theil_sen_slope",
     "binned_matrix",
     "step_series",
 ]
@@ -165,6 +166,11 @@ def _theil_sen_slope(series: np.ndarray) -> float:
         out /= d
         pos += m
     return float(np.median(slopes, overwrite_input=True))
+
+
+#: Public alias — the perf regression radar (:mod:`repro.perf`) runs
+#: the same O(n)-memory estimator over benchmark history series.
+theil_sen_slope = _theil_sen_slope
 
 
 def mann_kendall(values: np.ndarray) -> tuple[float, float]:

@@ -603,7 +603,7 @@ def lint_path(
                 "num_processes": len(counts),
                 "config": config,
                 "shard": shard,
-                "obs": obs.enabled(),
+                "obs": obs.current_context(),
             }
             for shard, group in enumerate(plan.groups)
         ]
@@ -674,7 +674,7 @@ def hb_graph_path(
                 "num_processes": len(counts),
                 "config": config,
                 "shard": shard,
-                "obs": obs.enabled(),
+                "obs": obs.current_context(),
                 "records_only": True,
             }
             for shard, group in enumerate(plan.groups)

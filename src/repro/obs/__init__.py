@@ -24,10 +24,12 @@ from .core import (
     Collector,
     Counter,
     Gauge,
+    SeriesRing,
     Span,
     SpanRecord,
     collector,
     counter,
+    current_context,
     disable,
     enable,
     enabled,
@@ -42,40 +44,52 @@ __all__ = [
     "Counter",
     "Gauge",
     "ObsSummary",
+    "Profiler",
+    "SeriesRing",
     "Span",
     "SpanRecord",
     "collector",
     "configure_logging",
     "counter",
+    "current_context",
     "disable",
     "enable",
     "enabled",
     "gauge",
     "get_logger",
+    "render_prometheus",
     "self_trace",
     "span",
     "summarize",
     "traced",
     "verbosity_level",
+    "write_metrics_file",
     "write_self_trace",
 ]
 
 #: Export helpers pull in the trace layer; loaded on first use so that
 #: instrumented low-level modules (the trace reader among them) can
-#: ``import repro.obs`` without a circular import.
+#: ``import repro.obs`` without a circular import.  The profiler and
+#: metrics exposition ride the same lazy hook to keep the disabled
+#: import footprint minimal.
 _LAZY = {
-    "ObsSummary": "ObsSummary",
-    "self_trace": "self_trace",
-    "summarize": "summarize",
-    "write_self_trace": "write_self_trace",
+    "ObsSummary": ("export", "ObsSummary"),
+    "self_trace": ("export", "self_trace"),
+    "summarize": ("export", "summarize"),
+    "write_self_trace": ("export", "write_self_trace"),
+    "Profiler": ("profiler", "Profiler"),
+    "render_prometheus": ("metrics", "render_prometheus"),
+    "write_metrics_file": ("metrics", "write_metrics_file"),
 }
 
 
 def __getattr__(name: str):
     if name in _LAZY:
-        from . import export
+        import importlib
 
-        value = getattr(export, _LAZY[name])
+        module_name, attr = _LAZY[name]
+        module = importlib.import_module(f".{module_name}", __name__)
+        value = getattr(module, attr)
         globals()[name] = value
         return value
     raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

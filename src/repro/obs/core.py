@@ -29,16 +29,20 @@ from __future__ import annotations
 
 import os
 import threading
+import uuid
+from collections import deque
 from typing import Any, Callable, Iterator
 
 __all__ = [
     "Collector",
     "Counter",
     "Gauge",
+    "SeriesRing",
     "SpanRecord",
     "ThreadJournal",
     "collector",
     "counter",
+    "current_context",
     "disable",
     "enable",
     "enabled",
@@ -94,6 +98,91 @@ class SpanRecord:
         return self.t_stop - self.t_start
 
 
+class SeriesRing:
+    """Bounded time series of one instrument: O(windows) memory.
+
+    Journals keep every individual sample, which is exactly right for a
+    one-shot analysis but unbounded for a long-lived process (``repro
+    monitor --follow``, the future daemon).  The ring aggregates samples
+    into fixed-width time buckets instead: counters store the *increment
+    sum* per bucket (a rate series), gauges store the last value seen in
+    the bucket.  When the ring is full the oldest bucket is evicted, so
+    memory is bounded by ``capacity`` regardless of run length.
+
+    Buckets are kept sparse — ``(bucket_index, value)`` pairs in
+    ascending bucket order — so an idle instrument costs nothing.
+    """
+
+    __slots__ = ("kind", "resolution", "capacity", "_buckets")
+
+    def __init__(self, kind: str, resolution: float = 0.1,
+                 capacity: int = 512) -> None:
+        if resolution <= 0:
+            raise ValueError("series resolution must be positive")
+        if capacity < 1:
+            raise ValueError("series capacity must be >= 1")
+        self.kind = kind  # "counter" | "gauge"
+        self.resolution = float(resolution)
+        self.capacity = int(capacity)
+        self._buckets: deque[tuple[int, float]] = deque()
+
+    def update(self, t: float, value: float) -> None:
+        """Fold one sample at time ``t`` into its bucket."""
+        b = int(t / self.resolution)
+        buckets = self._buckets
+        if buckets:
+            last_b, last_v = buckets[-1]
+            if b >= last_b:
+                if b == last_b:
+                    if self.kind == "counter":
+                        buckets[-1] = (b, last_v + value)
+                    else:
+                        buckets[-1] = (b, value)
+                    return
+            else:
+                # Out-of-order sample (merged foreign series, clock
+                # jitter): fold into an existing bucket if it is still
+                # retained, drop it if already evicted.
+                if b < buckets[0][0]:
+                    return
+                for i in range(len(buckets) - 1, -1, -1):
+                    bi, vi = buckets[i]
+                    if bi == b:
+                        if self.kind == "counter":
+                            buckets[i] = (bi, vi + value)
+                        return
+                    if bi < b:
+                        buckets.insert(i + 1, (b, value))
+                        break
+                while len(buckets) > self.capacity:
+                    buckets.popleft()
+                return
+        buckets.append((b, value))
+        while len(buckets) > self.capacity:
+            buckets.popleft()
+
+    def items(self) -> list[tuple[float, float]]:
+        """Retained ``(bucket_start_time, value)`` pairs, ascending."""
+        return [(b * self.resolution, v) for b, v in self._buckets]
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    # -- cross-process shipping ----------------------------------------
+
+    def dump(self) -> dict:
+        return {
+            "kind": self.kind,
+            "resolution": self.resolution,
+            "items": [(b * self.resolution, v) for b, v in self._buckets],
+        }
+
+    def absorb(self, dumped: dict) -> None:
+        """Fold a :meth:`dump` from another collector into this ring."""
+        for t, v in dumped.get("items", ()):
+            self.update(float(t), float(v))
+
+
 class Collector:
     """Owns the journals and instrument totals of one process.
 
@@ -101,9 +190,23 @@ class Collector:
     parent, ``"shard-N"`` inside phase-1/2 workers); it prefixes the
     location names of the exported self-trace so shard workers appear
     as distinct ranks.
+
+    **Trace context.**  Every collector carries a ``trace_id`` (one hex
+    id per causal trace), an ``epoch`` (the clock reading that is t=0
+    of the exported timeline) and an optional ``parent_span`` (the span
+    that launched this process).  Worker collectors inherit all three
+    from the payload context (:func:`current_context`), so journals
+    recorded in different processes stitch into *one* trace on *one*
+    time axis — ``RawMonotonicClock`` is machine-wide, and sharing the
+    epoch means a worker span can never appear to start before the
+    parent stage that launched it.
     """
 
-    def __init__(self, clock: Any | None = None, origin: str = "main") -> None:
+    def __init__(self, clock: Any | None = None, origin: str = "main",
+                 trace_id: str | None = None, epoch: float | None = None,
+                 parent_span: str | None = None,
+                 series_resolution: float = 0.1,
+                 series_capacity: int = 512) -> None:
         if clock is None:
             from ..measure.clock import RawMonotonicClock
 
@@ -111,6 +214,11 @@ class Collector:
         self.clock = clock
         self.origin = origin
         self.pid = os.getpid()
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.epoch = float(epoch) if epoch is not None else float(clock.now())
+        self.parent_span = parent_span
+        self.series_resolution = float(series_resolution)
+        self.series_capacity = int(series_capacity)
         self._local = threading.local()
         self._lock = threading.Lock()
         #: journals of this process, in creation order (main thread first)
@@ -119,6 +227,7 @@ class Collector:
         self.foreign: list[dict] = []
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._series: dict[str, SeriesRing] = {}
 
     # -- journal access (hot path) -------------------------------------
 
@@ -154,26 +263,50 @@ class Collector:
     # -- instruments ---------------------------------------------------
 
     def counter_add(self, name: str, amount: float) -> float:
+        now = self.clock.now()
         with self._lock:
             total = self._counters.get(name, 0.0) + amount
             self._counters[name] = total
-        self._journal().entries.append(
-            (SAMPLE, self.clock.now(), name, total)
-        )
+            ring = self._series.get(name)
+            if ring is None:
+                ring = self._series[name] = SeriesRing(
+                    "counter", self.series_resolution, self.series_capacity
+                )
+            ring.update(now - self.epoch, amount)
+        self._journal().entries.append((SAMPLE, now, name, total))
         return total
 
     def gauge_set(self, name: str, value: float) -> None:
+        now = self.clock.now()
+        value = float(value)
         with self._lock:
-            self._gauges[name] = float(value)
-        self._journal().entries.append(
-            (SAMPLE, self.clock.now(), name, float(value))
-        )
+            self._gauges[name] = value
+            ring = self._series.get(name)
+            if ring is None:
+                ring = self._series[name] = SeriesRing(
+                    "gauge", self.series_resolution, self.series_capacity
+                )
+            ring.update(now - self.epoch, value)
+        self._journal().entries.append((SAMPLE, now, name, value))
+
+    def _foreign_snaps(self) -> Iterator[dict]:
+        """All merged snapshots, depth-first (children after parents).
+
+        A shard worker can itself merge sub-snapshots (nested forks);
+        those ride along in the worker snapshot's ``children`` list and
+        must count toward totals just like direct merges.
+        """
+        stack = list(reversed(self.foreign))
+        while stack:
+            snap = stack.pop()
+            yield snap
+            stack.extend(reversed(snap.get("children", ())))
 
     def counters(self) -> dict[str, float]:
         """Counter totals, folding in merged foreign snapshots."""
         with self._lock:
             totals = dict(self._counters)
-        for snap in self.foreign:
+        for snap in self._foreign_snaps():
             for name, value in snap.get("counters", {}).items():
                 totals[name] = totals.get(name, 0.0) + value
         return totals
@@ -183,18 +316,54 @@ class Collector:
         with self._lock:
             return dict(self._gauges)
 
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """Merged time series of ``name``: ``(t, value)`` per bucket.
+
+        Times are relative to the shared trace epoch.  Counter buckets
+        sum across processes; gauge buckets keep the last write.
+        Returns ``[]`` for instruments that never recorded.
+        """
+        with self._lock:
+            ring = self._series.get(name)
+            merged = SeriesRing(
+                ring.kind if ring is not None else "counter",
+                ring.resolution if ring is not None else self.series_resolution,
+                ring.capacity if ring is not None else self.series_capacity,
+            )
+            if ring is not None:
+                merged.absorb(ring.dump())
+        for snap in self._foreign_snaps():
+            dumped = snap.get("series", {}).get(name)
+            if dumped:
+                merged.absorb(dumped)
+        return merged.items()
+
+    def series_names(self) -> list[str]:
+        """Names of every instrument with a recorded series."""
+        with self._lock:
+            names = set(self._series)
+        for snap in self._foreign_snaps():
+            names.update(snap.get("series", ()))
+        return sorted(names)
+
     # -- cross-process shipping ----------------------------------------
 
     def snapshot(self) -> dict:
         """Picklable copy of everything this collector recorded.
 
         Shipped from shard workers back to the parent alongside their
-        statistics partials; :meth:`merge` folds it in.
+        statistics partials; :meth:`merge` folds it in.  Snapshots this
+        collector itself merged (nested forks — e.g. a shard worker
+        that ran its own sub-workers) travel in ``children`` so no
+        grandchild journal or counter is lost on the way up.
         """
         with self._lock:
             return {
                 "origin": self.origin,
                 "pid": self.pid,
+                "trace_id": self.trace_id,
+                "epoch": self.epoch,
+                "parent_span": self.parent_span,
                 "journals": [
                     {
                         "thread_name": j.thread_name,
@@ -206,6 +375,8 @@ class Collector:
                 ],
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
+                "series": {k: r.dump() for k, r in self._series.items()},
+                "children": list(self.foreign),
             }
 
     def merge(self, snap: dict) -> None:
@@ -213,16 +384,56 @@ class Collector:
         with self._lock:
             self.foreign.append(snap)
 
+    def context(self) -> dict:
+        """Picklable trace context to hand a child process.
+
+        ``parent_span`` is the innermost span open on the calling
+        thread — the causal parent of everything the child records.
+        """
+        jrn = getattr(self._local, "journal", None)
+        parent = jrn.stack[-1] if jrn is not None and jrn.stack else None
+        return {
+            "trace_id": self.trace_id,
+            "epoch": self.epoch,
+            "parent_span": parent or self.parent_span,
+        }
+
     # -- span reconstruction -------------------------------------------
 
     def _all_journals(self) -> list[tuple[str, dict]]:
         """(origin, journal-dict) pairs: local first, then foreign in
-        merge order — the deterministic rank order of the self-trace."""
+        depth-first merge order — the deterministic rank order of the
+        self-trace.  Nested-fork children follow their parent snapshot."""
         local = self.snapshot()
         out = [(local["origin"], j) for j in local["journals"]]
-        for snap in self.foreign:
+        for snap in self._foreign_snaps():
             out.extend((snap["origin"], j) for j in snap["journals"])
         return out
+
+    def attach_profile(self, profiler: Any,
+                       origin: str | None = None) -> None:
+        """Attach a stopped :class:`repro.obs.profiler.Profiler`.
+
+        The profiler's samples fold into one synthetic ENTER/LEAVE
+        journal (consecutive-stack diffing) merged as a foreign
+        snapshot, so the self-trace grows a ``profile`` rank whose
+        call-path regions are balanced and monotone by construction.
+        """
+        journal = profiler.journal()
+        if not journal["entries"]:
+            return
+        self.merge({
+            "origin": origin or "profile",
+            "pid": self.pid,
+            "trace_id": self.trace_id,
+            "epoch": self.epoch,
+            "parent_span": None,
+            "journals": [journal],
+            "counters": {"profile.samples": float(len(profiler.samples))},
+            "gauges": {},
+            "series": {},
+            "children": [],
+        })
 
     def iter_spans(self) -> Iterator[SpanRecord]:
         """Finished spans across all journals (open spans are skipped)."""
@@ -398,6 +609,20 @@ def gauge(name: str) -> Gauge:
 def enabled() -> bool:
     """Whether telemetry is being recorded right now."""
     return _ENABLED
+
+
+def current_context() -> dict | None:
+    """Trace context of the active collector, or ``None`` if disabled.
+
+    This is what worker payloads carry: a picklable
+    ``{"trace_id", "epoch", "parent_span"}`` dict that
+    lets a child collector join the parent's causal trace on the
+    parent's time axis.
+    """
+    c = _COLLECTOR
+    if not _ENABLED or c is None:
+        return None
+    return c.context()
 
 
 def collector() -> Collector | None:

@@ -57,14 +57,25 @@ def self_trace(collector: Collector, name: str = "repro-self-trace") -> Trace:
     snapshot's threads in merge order, which for shard workers is
     ascending shard order (the parent merges them exactly like the
     statistics partials).  Timestamps share one monotonic axis
-    (:class:`repro.measure.clock.RawMonotonicClock`), normalised so the
-    earliest entry is t=0.
+    (:class:`repro.measure.clock.RawMonotonicClock`) and are normalised
+    against the collector's **trace epoch** — the same zero in every
+    process of the trace, so a worker span can never start before the
+    parent span that launched it.  (Snapshots without an epoch —
+    pre-context pickles — fall back to earliest-entry normalisation.)
     """
     from .. import __version__
 
     journals = collector._all_journals()
     journals = [(origin, j) for origin, j in journals if j["entries"]]
-    t0 = min(j["entries"][0][1] for _, j in journals) if journals else 0.0
+    t0 = getattr(collector, "epoch", None)
+    if t0 is None:
+        t0 = min(j["entries"][0][1] for _, j in journals) if journals else 0.0
+
+    ctx_attrs: dict[str, str] = {}
+    for snap in collector._foreign_snaps():
+        parent = snap.get("parent_span")
+        if parent:
+            ctx_attrs[f"ctx.{snap['origin']}.parent_span"] = str(parent)
 
     counters = collector.counters()
     builder = TraceBuilder(
@@ -72,6 +83,8 @@ def self_trace(collector: Collector, name: str = "repro-self-trace") -> Trace:
         attributes={
             SELF_TRACE_ATTR: "1",
             "repro.version": __version__,
+            "repro.trace_id": getattr(collector, "trace_id", "") or "",
+            **ctx_attrs,
             **{f"counter.{k}": repr(v) for k, v in sorted(counters.items())},
             **{f"gauge.{k}": repr(v)
                for k, v in sorted(collector.gauges().items())},
@@ -252,6 +265,17 @@ def summarize(source: Collector | Trace) -> ObsSummary:
     export would contain.
     """
     trace = source if isinstance(source, Trace) else self_trace(source)
+    if not trace.num_processes:
+        # Empty collector (counters never fired, no spans): keep the
+        # summary well-formed so `repro stats` can explain instead of
+        # crashing on a degenerate trace.
+        return ObsSummary(
+            wall_s=0.0,
+            locations=0,
+            phases=(),
+            counters=_attr_values(trace, "counter."),
+            gauges=_attr_values(trace, "gauge."),
+        )
     from ..profiles.replay import match_invocations
     from ..profiles.stats import compute_statistics
 

@@ -1,0 +1,109 @@
+"""Prometheus-style textfile exposition of collector telemetry.
+
+One render path for two consumers: ``--metrics-file`` on ``analyze``
+and ``monitor`` writes the file once per run (or periodically while
+following a live trace), and the future ``repro serve`` daemon
+(ROADMAP item 1) can serve the same bytes from ``/metrics``.
+
+The format is the Prometheus text exposition format, version 0.0.4:
+
+* counters are rendered as ``repro_<name>_total`` with ``# TYPE ...
+  counter`` — totals fold merged worker snapshots in, exactly like
+  :meth:`Collector.counters`;
+* gauges are ``repro_<name>`` with ``# TYPE ... gauge``;
+* the ring-buffer time series (:class:`repro.obs.SeriesRing`) surface
+  their freshest bucket as ``repro_<name>_rate`` (counters; increments
+  per bucket divided by the resolution) so a scraper sees recent
+  activity, not just lifetime totals;
+* ``repro_obs_info`` carries version/origin/trace id as labels.
+
+Writes are atomic (temp file + ``os.replace``) so a scraper using the
+node-exporter textfile collector never reads a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+
+from .core import Collector
+
+__all__ = ["render_prometheus", "write_metrics_file"]
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    """``cache.hit`` -> ``repro_cache_hit`` (Prometheus identifier)."""
+    clean = _SANITIZE.sub("_", name).strip("_")
+    return f"repro_{clean}"
+
+
+def _fmt(value: float) -> str:
+    # Integral values print without a trailing ``.0`` — counters are
+    # almost always event counts and scrapers treat both the same.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(collector: Collector) -> str:
+    """Render ``collector`` in the Prometheus text exposition format."""
+    lines: list[str] = []
+
+    def esc(s: str) -> str:
+        return str(s).replace("\\", r"\\").replace('"', r'\"')
+
+    lines.append("# TYPE repro_obs_info gauge")
+    lines.append(
+        "repro_obs_info{"
+        f'origin="{esc(collector.origin)}",'
+        f'trace_id="{esc(collector.trace_id)}"'
+        "} 1"
+    )
+
+    for name, total in sorted(collector.counters().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total {_fmt(total)}")
+
+    for name, value in sorted(collector.gauges().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    # Freshest ring bucket as an instantaneous rate: what the series
+    # machinery saw in the most recent resolution window.
+    resolution = collector.series_resolution
+    for name in collector.series_names():
+        items = collector.series(name)
+        if not items or name in collector.gauges():
+            continue
+        _, latest = items[-1]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric}_rate gauge")
+        lines.append(f"{metric}_rate {_fmt(latest / resolution)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_file(collector: Collector, path: str | os.PathLike) -> str:
+    """Atomically write the exposition for ``collector`` to ``path``."""
+    path = os.fspath(path)
+    text = render_prometheus(collector)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=".metrics-", suffix=".prom", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return text

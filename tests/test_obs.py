@@ -14,6 +14,7 @@ import re
 import threading
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 import repro.obs as obs
 from repro.cli import main
@@ -149,6 +150,192 @@ class TestSnapshotMerge:
         origins = [o for o, _ in parent._all_journals()]
         assert origins == ["main", "shard-0"]  # local first, merge order after
 
+    def test_nested_fork_snapshots_survive_the_hop(self):
+        """A worker that merged its own sub-workers loses nothing.
+
+        Shard worker -> hb global phase -> sub-worker: the grandchild
+        snapshot rides in the worker snapshot's ``children`` and its
+        journals and counters must surface in the parent's totals.
+        """
+        import pickle
+
+        grand = obs.enable(obs.Collector(origin="shard-0-sub"))
+        with obs.span("lint.shard"):
+            obs.counter("analysis.events").add(7)
+        grand_snap = pickle.loads(pickle.dumps(obs.disable().snapshot()))
+
+        worker = obs.enable(obs.Collector(origin="shard-0"))
+        with obs.span("shard.phase1"):
+            obs.counter("analysis.events").add(10)
+        worker.merge(grand_snap)
+        worker_snap = pickle.loads(pickle.dumps(obs.disable().snapshot()))
+        assert worker_snap["children"], "merged snaps must ship as children"
+
+        parent = obs.enable()
+        obs.counter("analysis.events").add(5)
+        parent.merge(worker_snap)
+        assert parent.counters() == {"analysis.events": 22.0}
+        origins = [o for o, _ in parent._all_journals()]
+        assert origins == ["main", "shard-0", "shard-0-sub"]
+        spans = {s.name for s in parent.iter_spans()}
+        assert {"shard.phase1", "lint.shard"} <= spans
+
+    def test_counters_monotone_across_repeated_snapshots(self):
+        """snapshot() is a read: totals never decrease or double-count."""
+        col = obs.enable()
+        c = obs.counter("analysis.events")
+        seen = []
+        for i in range(5):
+            c.add(3)
+            snap = col.snapshot()
+            seen.append(snap["counters"]["analysis.events"])
+            assert col.counters()["analysis.events"] == seen[-1]
+        assert seen == [3.0, 6.0, 9.0, 12.0, 15.0]
+        assert seen == sorted(seen)
+
+    def test_worker_inherits_trace_context(self):
+        parent = obs.enable()
+        with obs.span("stage.sos"):
+            ctx = obs.current_context()
+        assert ctx["trace_id"] == parent.trace_id
+        assert ctx["epoch"] == parent.epoch
+        assert ctx["parent_span"] == "stage.sos"
+        worker = obs.Collector(
+            origin="shard-0",
+            trace_id=ctx["trace_id"],
+            epoch=ctx["epoch"],
+            parent_span=ctx["parent_span"],
+        )
+        assert worker.trace_id == parent.trace_id
+        assert worker.epoch == parent.epoch
+        snap = worker.snapshot()
+        assert snap["trace_id"] == parent.trace_id
+        assert snap["epoch"] == parent.epoch
+
+    def test_current_context_none_when_disabled(self):
+        assert obs.current_context() is None
+        obs.enable()
+        ctx = obs.current_context()
+        assert ctx is not None and set(ctx) == {
+            "trace_id", "epoch", "parent_span",
+        }
+
+
+class TestSeriesRing:
+    def test_counter_buckets_accumulate_increments(self):
+        ring = obs.SeriesRing("counter", resolution=1.0, capacity=8)
+        ring.update(0.1, 2.0)
+        ring.update(0.7, 3.0)
+        ring.update(1.2, 4.0)
+        assert ring.items() == [(0.0, 5.0), (1.0, 4.0)]
+
+    def test_gauge_buckets_keep_last_value(self):
+        ring = obs.SeriesRing("gauge", resolution=1.0, capacity=8)
+        ring.update(0.1, 2.0)
+        ring.update(0.7, 3.0)
+        ring.update(2.5, 1.0)
+        assert ring.items() == [(0.0, 3.0), (2.0, 1.0)]
+
+    def test_eviction_keeps_newest_buckets(self):
+        ring = obs.SeriesRing("counter", resolution=1.0, capacity=3)
+        for t in range(10):
+            ring.update(float(t), 1.0)
+        assert ring.items() == [(7.0, 1.0), (8.0, 1.0), (9.0, 1.0)]
+
+    def test_out_of_order_updates_fold_or_drop(self):
+        ring = obs.SeriesRing("counter", resolution=1.0, capacity=4)
+        for t in (0.0, 5.0, 7.0):
+            ring.update(t, 1.0)
+        ring.update(5.5, 2.0)   # folds into retained bucket 5
+        ring.update(6.0, 3.0)   # inserts between retained buckets
+        ring.update(-9.0, 9.0)  # before the ring: dropped
+        assert ring.items() == [
+            (0.0, 1.0), (5.0, 3.0), (6.0, 3.0), (7.0, 1.0),
+        ]
+
+    def test_collector_series_merges_foreign_snapshots(self):
+        parent = obs.enable(
+            obs.Collector(series_resolution=0.5, series_capacity=64)
+        )
+        obs.counter("analysis.events").add(4)
+        worker = obs.Collector(
+            epoch=parent.epoch, series_resolution=0.5, series_capacity=64
+        )
+        worker.counter_add("analysis.events", 6)
+        parent.merge(worker.snapshot())
+        total = sum(v for _, v in parent.series("analysis.events"))
+        assert total == 10.0
+        assert "analysis.events" in parent.series_names()
+        assert parent.series("never.recorded") == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=500.0),
+                st.floats(min_value=-10.0, max_value=10.0),
+            ),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ring_memory_bound_and_totals(self, samples, capacity):
+        """Eviction bound: never more than ``capacity`` buckets, and the
+        retained buckets hold exactly the sum of their samples."""
+        ring = obs.SeriesRing("counter", resolution=1.0, capacity=capacity)
+        for t, v in samples:
+            ring.update(t, v)
+        items = ring.items()
+        assert len(items) <= capacity
+        times = [t for t, _ in items]
+        assert times == sorted(times)
+        if items:
+            lo = items[0][0]
+            expect: dict[float, float] = {}
+            for t, v in samples:
+                bucket = float(int(t / 1.0) * 1.0)
+                if bucket >= lo:
+                    expect[bucket] = expect.get(bucket, 0.0) + v
+            got = dict(items)
+            # Buckets older than the retention window may have been
+            # evicted before late same-bucket samples arrived; every
+            # retained bucket must still be a sum of its samples.
+            for bucket, value in got.items():
+                assert value == pytest.approx(expect.get(bucket, value))
+
+
+class TestMetricsExposition:
+    def _collect(self):
+        col = obs.enable()
+        obs.counter("cache.hit").add(3)
+        obs.counter("io.bytes_read").add(1024)
+        obs.gauge("shard.queue_depth").set(2)
+        return col
+
+    def test_render_prometheus_format(self):
+        col = self._collect()
+        text = obs.render_prometheus(col)
+        assert "# TYPE repro_cache_hit_total counter" in text
+        assert "repro_cache_hit_total 3" in text
+        assert "# TYPE repro_shard_queue_depth gauge" in text
+        assert "repro_shard_queue_depth 2" in text
+        assert f'trace_id="{col.trace_id}"' in text
+        assert text.endswith("\n")
+
+    def test_write_metrics_file_atomic(self, tmp_path):
+        col = self._collect()
+        path = tmp_path / "metrics.prom"
+        obs.write_metrics_file(col, path)
+        assert path.read_text() == obs.render_prometheus(col)
+        # No temp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_counter_rate_reflects_ring_series(self):
+        col = obs.enable(obs.Collector(series_resolution=100.0))
+        obs.counter("analysis.events").add(50)
+        text = obs.render_prometheus(col)
+        assert "repro_analysis_events_rate 0.5" in text  # 50 per 100 s
+
 
 # ---------------------------------------------------------------------------
 # Export + summary
@@ -178,7 +365,9 @@ class TestExport:
         events = trace.events_of(trace.ranks[0])
         # 3 spans -> 6 enter/leave events + 2 metric samples.
         assert len(events) == 8
-        assert float(events.time[0]) == 0.0  # t0-normalised
+        # Epoch-normalised: t=0 is the collector's enable time, so the
+        # first entry lands shortly *after* zero, never before.
+        assert 0.0 <= float(events.time[0]) < 1.0
 
     def test_self_trace_passes_lint_with_zero_errors(self):
         from repro.lint import lint_trace
@@ -283,6 +472,133 @@ class TestDogfood:
         col = obs.disable()
         timed = [k for k in col.counters() if k.startswith("lint.rule.")]
         assert timed and all(k.endswith(".s") for k in timed)
+
+
+# ---------------------------------------------------------------------------
+# Sampling profiler
+# ---------------------------------------------------------------------------
+
+
+def _busy(deadline: float) -> float:
+    import time
+
+    acc = 0.0
+    while time.perf_counter() < deadline:
+        acc += sum(i * i for i in range(200))
+    return acc
+
+
+class TestProfiler:
+    @pytest.mark.parametrize("backend", ["signal", "thread"])
+    def test_backends_capture_samples(self, backend):
+        import time
+
+        from repro.obs.profiler import Profiler
+
+        prof = Profiler(interval=0.001, backend=backend)
+        prof.start()
+        _busy(time.perf_counter() + 0.08)
+        prof.stop()
+        assert prof.samples, f"{backend} backend captured nothing"
+        assert prof.duration > 0
+        # Every stack is root-first and non-empty.
+        for _, stack in prof.samples:
+            assert stack and all(isinstance(f, str) for f in stack)
+        assert any("_busy" in f for _, stack in prof.samples for f in stack)
+
+    def test_collapsed_and_speedscope_formats(self):
+        import time
+
+        from repro.obs.profiler import Profiler
+
+        prof = Profiler(interval=0.001, backend="thread")
+        with prof:
+            _busy(time.perf_counter() + 0.05)
+        collapsed = prof.collapsed()
+        assert collapsed
+        for line in collapsed.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 1
+
+        doc = prof.speedscope("unit")
+        assert doc["$schema"].endswith("file-format-schema.json")
+        assert doc["profiles"][0]["type"] == "sampled"
+        n = len(doc["profiles"][0]["samples"])
+        assert n == len(prof.samples)
+        assert len(doc["profiles"][0]["weights"]) == n
+        frames = doc["shared"]["frames"]
+        for sample in doc["profiles"][0]["samples"]:
+            assert all(0 <= i < len(frames) for i in sample)
+
+    def test_write_chooses_format_by_suffix(self, tmp_path):
+        import time
+
+        from repro.obs.profiler import Profiler
+
+        prof = Profiler(interval=0.001, backend="thread")
+        with prof:
+            _busy(time.perf_counter() + 0.03)
+        js = tmp_path / "p.speedscope.json"
+        txt = tmp_path / "p.collapsed"
+        prof.write(js)
+        prof.write(txt)
+        assert json.loads(js.read_text())["profiles"]
+        assert txt.read_text() == prof.collapsed()
+
+    def test_journal_is_balanced(self):
+        import time
+
+        from repro.obs.core import ENTER as J_ENTER
+        from repro.obs.core import LEAVE as J_LEAVE
+        from repro.obs.profiler import Profiler
+
+        prof = Profiler(interval=0.001, backend="thread")
+        with prof:
+            _busy(time.perf_counter() + 0.05)
+        jrn = prof.journal()
+        depth = 0
+        open_names: list[str] = []
+        last_t = 0.0
+        for entry in jrn["entries"]:
+            kind, t, name = entry[0], entry[1], entry[2]
+            assert t >= last_t
+            last_t = t
+            if kind == J_ENTER:
+                depth += 1
+                open_names.append(name)
+            elif kind == J_LEAVE:
+                depth -= 1
+                assert open_names.pop() == name  # LIFO nesting
+            assert depth >= 0
+        assert depth == 0  # every ENTER closed
+
+    def test_attach_profile_folds_into_self_trace(self):
+        import time
+
+        from repro.obs.profiler import Profiler
+
+        col = obs.enable()
+        prof = Profiler(interval=0.001, backend="thread", clock=col.clock)
+        with obs.span("phase.a"):
+            with prof:
+                _busy(time.perf_counter() + 0.05)
+        col = obs.disable()
+        col.attach_profile(prof)
+        assert col.counters()["profile.samples"] == float(len(prof.samples))
+        trace = self_trace(col)
+        # The profiler rank shows up alongside the main journal.
+        assert trace.num_processes == 2
+        names = {r.name for r in trace.regions}
+        assert any("_busy" in n for n in names)
+
+    def test_attach_profile_without_samples_is_noop(self):
+        from repro.obs.profiler import Profiler
+
+        col = obs.enable()
+        obs.counter("x").add(1)
+        col = obs.disable()
+        col.attach_profile(Profiler(backend="thread"))
+        assert "profile.samples" not in col.counters()
 
 
 # ---------------------------------------------------------------------------
@@ -431,3 +747,81 @@ class TestCLI:
         capsys.readouterr()
         assert not obs.enabled()
         assert obs.collector() is None
+
+    def test_metrics_file_flag_writes_prometheus(
+        self, trace_path, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "analyze", str(trace_path), "--metrics-file", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "# TYPE repro_analysis_events_total counter" in text
+        assert "repro_obs_info{" in text
+
+    def test_profile_flag_writes_speedscope(self, trace_path, tmp_path, capsys):
+        prof_path = tmp_path / "prof.speedscope.json"
+        assert main([
+            "analyze", str(trace_path), "--profile", str(prof_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "wrote profile" in err
+        doc = json.loads(prof_path.read_text())
+        assert doc["profiles"][0]["type"] == "sampled"
+
+    def test_profile_bad_interval_exit_2(self, trace_path, tmp_path, capsys):
+        assert main([
+            "analyze", str(trace_path),
+            "--profile", str(tmp_path / "p.json"),
+            "--profile-interval", "0",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sharded_self_trace_has_single_trace_id(
+        self, trace_path, tmp_path, monkeypatch, capsys
+    ):
+        from repro.trace import read_trace
+
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+        self_path = tmp_path / "self.rpt"
+        assert main([
+            "analyze", str(trace_path), "--shards", "2",
+            "--self-trace", str(self_path),
+        ]) == 0
+        capsys.readouterr()
+        trace = read_trace(str(self_path))
+        trace_id = trace.attributes["repro.trace_id"]
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+        # Worker origins stitched in with their forking span recorded.
+        ctx_keys = [k for k in trace.attributes if k.startswith("ctx.shard-")]
+        assert ctx_keys
+        for key in ctx_keys:
+            assert trace.attributes[key]  # parent span name, non-empty
+        # All origins share the epoch: every event time is >= 0 and the
+        # journals interleave on one clock.
+        for rank in trace.ranks:
+            events = trace.events_of(rank)
+            assert float(events.time[0]) >= 0.0
+
+    def test_stats_graceful_on_counter_only_trace(self, tmp_path, capsys):
+        obs.enable()
+        obs.counter("cache.hit").add(2)
+        col = obs.disable()
+        path = tmp_path / "counters.rpt"
+        write_self_trace(col, path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "counters only" in out
+        assert "cache.hit" in out
+
+    def test_live_stats_graceful_when_nothing_recorded(self, capsys):
+        from repro.cli import _emit_telemetry
+
+        class _Args:
+            stats = True
+
+        obs.enable()
+        col = obs.disable()
+        _emit_telemetry(_Args(), col)
+        assert "no telemetry recorded" in capsys.readouterr().out
